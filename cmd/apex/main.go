@@ -1,0 +1,56 @@
+// Command apex runs only the memory-modules exploration stage and prints
+// the cost/miss-ratio design space and its pareto selection.
+//
+// Usage:
+//
+//	apex [-bench compress|li|vocoder] [-scale N] [-seed N] [-all]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+	"strings"
+
+	"memorex"
+	"memorex/internal/apex"
+	"memorex/internal/profile"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("apex: ")
+	bench := flag.String("bench", "compress", "benchmark: "+strings.Join(memorex.Benchmarks(), ", "))
+	scale := flag.Int("scale", 1, "workload scale factor")
+	seed := flag.Int64("seed", 42, "workload seed")
+	all := flag.Bool("all", false, "print every evaluated design, not only the selection")
+	flag.Parse()
+
+	cfg := memorex.DefaultOptions(*bench)
+	cfg.WorkloadConfig.Scale = *scale
+	cfg.WorkloadConfig.Seed = *seed
+	tr, err := memorex.GenerateTrace(*bench, cfg.WorkloadConfig)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prof := profile.Analyze(tr)
+	res, err := apex.Explore(tr, prof, cfg.APEX)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%s: %d designs evaluated (%d simulated accesses)\n",
+		*bench, len(res.All), res.EvaluatedAccesses)
+	if *all {
+		sorted := append([]apex.DesignPoint(nil), res.All...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i].Gates < sorted[j].Gates })
+		for _, dp := range sorted {
+			fmt.Printf("  %12.0f gates  miss %.4f  %s\n", dp.Gates, dp.MissRatio, dp.Arch.Describe(tr))
+		}
+	}
+	fmt.Println("selected (cost/miss-ratio pareto):")
+	for i, dp := range res.Selected {
+		fmt.Printf("  %d. %12.0f gates  miss %.4f  %s\n", i+1, dp.Gates, dp.MissRatio, dp.Arch.Describe(tr))
+	}
+}

@@ -1,0 +1,88 @@
+// Command conex runs the connectivity exploration for a single memory
+// architecture chosen from the APEX selection, printing the Bandwidth
+// Requirement Graph, the clustering hierarchy, and the estimated
+// connectivity design points.
+//
+// Usage:
+//
+//	conex [-bench compress|li|vocoder] [-arch N] [-scale N] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+	"strings"
+
+	"memorex"
+	"memorex/internal/apex"
+	"memorex/internal/core"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("conex: ")
+	bench := flag.String("bench", "compress", "benchmark: "+strings.Join(memorex.Benchmarks(), ", "))
+	archIdx := flag.Int("arch", 0, "index into the APEX selection")
+	scale := flag.Int("scale", 1, "workload scale factor")
+	seed := flag.Int64("seed", 42, "workload seed")
+	flag.Parse()
+
+	opt := memorex.DefaultOptions(*bench)
+	opt.WorkloadConfig.Scale = *scale
+	opt.WorkloadConfig.Seed = *seed
+	tr, err := memorex.GenerateTrace(*bench, opt.WorkloadConfig)
+	if err != nil {
+		log.Fatal(err)
+	}
+	apexRes, err := apex.Explore(tr, nil, opt.APEX)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *archIdx < 0 || *archIdx >= len(apexRes.Selected) {
+		log.Fatalf("-arch %d out of range: APEX selected %d architectures", *archIdx, len(apexRes.Selected))
+	}
+	arch := apexRes.Selected[*archIdx].Arch
+	fmt.Printf("memory architecture %d: %s\n", *archIdx, arch.Describe(tr))
+
+	brg, err := core.BuildBRG(tr, arch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nbandwidth requirement graph:")
+	for i, ch := range brg.Channels {
+		side := "on-chip "
+		if ch.OffChip {
+			side = "off-chip"
+		}
+		fmt.Printf("  %-34s %s %8.3f B/access\n", ch.Label(arch), side, brg.Bandwidth(i))
+	}
+
+	fmt.Println("\nclustering hierarchy:")
+	for li, level := range core.Levels(brg) {
+		fmt.Printf("  level %d:", li)
+		for _, cl := range level {
+			labels := make([]string, len(cl))
+			for i, ch := range cl {
+				labels[i] = brg.Channels[ch].Label(arch)
+			}
+			fmt.Printf(" {%s}", strings.Join(labels, ", "))
+		}
+		fmt.Println()
+	}
+
+	points, work, dropped, err := core.ConnectivityExploration(tr, arch, opt.ConEx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sort.Slice(points, func(i, j int) bool { return points[i].Cost < points[j].Cost })
+	fmt.Printf("\n%d connectivity designs estimated (%d sampled accesses, %d assignments dropped by cap):\n",
+		len(points), work, dropped)
+	sel := core.SelectLocal(points, opt.ConEx.KeepPerArch)
+	fmt.Printf("locally most promising (%d):\n", len(sel))
+	for _, p := range sel {
+		fmt.Printf("  %12.0f gates %8.2f cyc %7.2f nJ  %s\n",
+			p.Cost, p.Latency, p.Energy, p.Conn.Describe(arch))
+	}
+}

@@ -1,0 +1,67 @@
+// Command paperbench regenerates the tables and figures of the paper's
+// evaluation section (Figures 3, 4, 6; Tables 1, 2).
+//
+// Usage:
+//
+//	paperbench [-exp fig3|fig4|fig6|tab1|tab2|all] [-preset paper|quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"memorex/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("paperbench: ")
+	exp := flag.String("exp", "all", "experiment to run: fig3, fig4, fig6, fige, tab1, tab2, all")
+	preset := flag.String("preset", "paper", "sizing preset: paper or quick")
+	flag.Parse()
+
+	var opt experiments.Options
+	switch *preset {
+	case "paper":
+		opt = experiments.Paper()
+	case "quick":
+		opt = experiments.Quick()
+	default:
+		log.Fatalf("unknown preset %q", *preset)
+	}
+
+	runners := []struct {
+		name string
+		run  func() (fmt.Stringer, error)
+	}{
+		{"fig3", func() (fmt.Stringer, error) { return experiments.Figure3(opt) }},
+		{"fig4", func() (fmt.Stringer, error) { return experiments.Figure4(opt) }},
+		{"fig6", func() (fmt.Stringer, error) { return experiments.Figure6(opt) }},
+		{"fige", func() (fmt.Stringer, error) { return experiments.FigureEnergy(opt) }},
+		{"tab1", func() (fmt.Stringer, error) { return experiments.Table1(opt) }},
+		{"tab2", func() (fmt.Stringer, error) { return experiments.Table2(opt) }},
+	}
+
+	ran := false
+	for _, r := range runners {
+		if *exp != "all" && *exp != r.name {
+			continue
+		}
+		ran = true
+		start := time.Now()
+		res, err := r.run()
+		if err != nil {
+			log.Fatalf("%s: %v", r.name, err)
+		}
+		fmt.Printf("==== %s (%s preset, %v) ====\n%s\n", r.name, *preset,
+			time.Since(start).Round(time.Millisecond), res)
+	}
+	if !ran {
+		log.Printf("unknown experiment %q", *exp)
+		flag.Usage()
+		os.Exit(2)
+	}
+}

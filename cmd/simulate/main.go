@@ -1,0 +1,122 @@
+// Command simulate runs one fully specified system — described in the
+// MemorEx architecture description language — against a benchmark trace
+// and reports its cost, performance, energy and per-channel contention.
+//
+// Usage:
+//
+//	simulate -arch system.adl [-bench compress] [-trace file.mtr]
+//
+// Example system.adl:
+//
+//	memory {
+//	  cache  l1 size=8192 line=32 assoc=2
+//	  stream sb line=32 depth=4 map=speech
+//	  dram   m  rowhit=8 rowmiss=20 rowbytes=2048 banks=4
+//	  default l1
+//	}
+//	connect {
+//	  link cpu_bus comp=ahb32 channels=cpu:l1,cpu:sb
+//	  link ext     comp=off32 channels=l1:dram,sb:dram
+//	}
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"memorex"
+	"memorex/internal/adl"
+	"memorex/internal/connect"
+	"memorex/internal/sim"
+	"memorex/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("simulate: ")
+	archPath := flag.String("arch", "", "architecture description file (required)")
+	bench := flag.String("bench", "compress", "benchmark: "+strings.Join(memorex.Benchmarks(), ", "))
+	tracePath := flag.String("trace", "", "trace file (MTR1/MTR2) instead of -bench")
+	scale := flag.Int("scale", 1, "workload scale factor")
+	seed := flag.Int64("seed", 42, "workload seed")
+	libPath := flag.String("lib", "", "JSON connectivity library (default: built-in)")
+	flag.Parse()
+
+	if *archPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var tr *trace.Trace
+	if *tracePath != "" {
+		f, err := os.Open(*tracePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tr, err = trace.Read(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		var err error
+		tr, err = memorex.GenerateTrace(*bench, memorex.WorkloadConfig{Scale: *scale, Seed: *seed})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	lib := connect.Library()
+	if *libPath != "" {
+		f, err := os.Open(*libPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		lib, err = connect.ReadLibrary(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	src, err := os.ReadFile(*archPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := adl.Parse(string(src), tr, lib)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("memory:       %s\n", sys.Mem.Describe(tr))
+	fmt.Printf("connectivity: %s\n", sys.Conn.Describe(sys.Mem))
+	fmt.Printf("cost:         %.0f gates (memory %.0f + connectivity %.0f)\n",
+		sys.Mem.Gates()+sys.Conn.Gates(), sys.Mem.Gates(), sys.Conn.Gates())
+
+	s, err := sim.New(sys.Mem, sys.Conn)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r, err := s.Run(tr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntrace:        %s (%d accesses)\n", tr.Name, r.Accesses)
+	fmt.Printf("avg latency:  %.2f cycles/access (p50<=%d, p95<=%d, p99<=%d)\n",
+		r.AvgLatency(), r.LatencyPercentile(50), r.LatencyPercentile(95), r.LatencyPercentile(99))
+	fmt.Printf("avg energy:   %.2f nJ/access\n", r.AvgEnergy())
+	fmt.Printf("miss ratio:   %.4f\n", r.MissRatio())
+	fmt.Printf("off-chip:     %d bytes\n", r.OffChipBytes)
+	fmt.Println("\nchannels:")
+	for i, ch := range sys.Mem.Channels() {
+		var avgWait float64
+		if r.ChannelTransfers[i] > 0 {
+			avgWait = float64(r.ChannelWait[i]) / float64(r.ChannelTransfers[i])
+		}
+		fmt.Printf("  %-32s %10d B %9d transfers  avg wait %.2f cyc\n",
+			ch.Label(sys.Mem), r.ChannelBytes[i], r.ChannelTransfers[i], avgWait)
+	}
+}

@@ -1,0 +1,81 @@
+// Command tracegen generates a benchmark memory trace, saves it in the
+// MTR1 binary format, or inspects an existing trace file.
+//
+// Usage:
+//
+//	tracegen -bench compress -o compress.mtr           # generate + save
+//	tracegen -inspect compress.mtr                     # summarize a file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"memorex"
+	"memorex/internal/profile"
+	"memorex/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tracegen: ")
+	bench := flag.String("bench", "compress", "benchmark: "+strings.Join(memorex.Benchmarks(), ", "))
+	scale := flag.Int("scale", 1, "workload scale factor")
+	seed := flag.Int64("seed", 42, "workload seed")
+	out := flag.String("o", "", "output file; empty = just summarize")
+	compressOut := flag.Bool("z", false, "write the compressed MTR2 format instead of MTR1")
+	inspect := flag.String("inspect", "", "inspect an existing trace file instead of generating")
+	flag.Parse()
+
+	var t *trace.Trace
+	if *inspect != "" {
+		f, err := os.Open(*inspect)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		t, err = trace.Read(f)
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		var err error
+		t, err = memorex.GenerateTrace(*bench, memorex.WorkloadConfig{Scale: *scale, Seed: *seed})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	fmt.Printf("trace %q: %d accesses, %d data structures\n", t.Name, t.NumAccesses(), len(t.DS)-1)
+	p := profile.Analyze(t)
+	for _, s := range p.Stats {
+		fmt.Printf("  %-10s %9d accesses %6.1f%%  %-13s footprint=%dB chain=%.2f\n",
+			s.Name, s.Count, 100*s.Share(p.Total), s.Class, s.FootprintBytes, s.ChainRatio)
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		write := trace.Write
+		if *compressOut {
+			write = trace.WriteCompressed
+		}
+		if err := write(f, t); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		info, err := os.Stat(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s (%d bytes)\n", *out, info.Size())
+	}
+}

@@ -1,0 +1,3 @@
+module memorex
+
+go 1.22

@@ -1,0 +1,464 @@
+// Package adl implements a small architecture description language for
+// MemorEx systems, in the spirit of the EXPRESSION ADL that the paper's
+// environment (and its SIMPRESS memory models) is generated from: a
+// textual description of the memory modules, the data-structure mapping,
+// and the connectivity architecture, parsed into the simulator's
+// mem.Architecture and connect.Arch.
+//
+// Syntax (line oriented, '#' comments):
+//
+//	memory {
+//	  cache  l1   size=8192 line=32 assoc=2 policy=wb [victim=4]
+//	  sram   sp   size=1024 map=work
+//	  stream sb   line=32 depth=4 map=speech
+//	  lldma  ld   buf=256 node=8 pred=0.42 map=heap
+//	  l2     l2   size=65536 line=32 assoc=4    # optional shared L2
+//	  dram   main rowhit=8 rowmiss=20 rowbytes=2048 banks=4 policy=open
+//	  default l1               # or: default dram
+//	}
+//	connect {
+//	  link b1 comp=ahb32 channels=cpu:l1,cpu:sp,cpu:sb
+//	  link b2 comp=off32 channels=l1:dram,sb:dram
+//	  link b3 comp=off16 channels=ld:dram
+//	}
+//
+// Data-structure names in map= are resolved against the trace the
+// architecture will run; component names in comp= against a
+// connectivity library.
+package adl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"memorex/internal/connect"
+	"memorex/internal/mem"
+	"memorex/internal/trace"
+)
+
+// System is the parse result.
+type System struct {
+	Mem  *mem.Architecture
+	Conn *connect.Arch
+}
+
+// parser state.
+type parser struct {
+	lines []string
+	pos   int
+
+	tr  *trace.Trace
+	lib []connect.Component
+
+	moduleIdx map[string]int // module name -> index in arch.Modules
+	arch      *mem.Architecture
+	defaulted bool
+	dramSeen  bool
+}
+
+// Parse builds a System from an ADL description. The trace provides the
+// data-structure names for map= clauses; the library provides the
+// connectivity components for comp= clauses.
+func Parse(src string, tr *trace.Trace, lib []connect.Component) (*System, error) {
+	p := &parser{
+		tr:        tr,
+		lib:       lib,
+		moduleIdx: map[string]int{},
+		arch: &mem.Architecture{
+			Name:  "adl",
+			Route: map[trace.DSID]int{},
+		},
+	}
+	for _, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line != "" {
+			p.lines = append(p.lines, line)
+		}
+	}
+	var connLines []string
+	for p.pos < len(p.lines) {
+		switch line := p.next(); {
+		case line == "memory {":
+			if err := p.parseMemory(); err != nil {
+				return nil, err
+			}
+		case line == "connect {":
+			for p.pos < len(p.lines) {
+				l := p.next()
+				if l == "}" {
+					break
+				}
+				connLines = append(connLines, l)
+			}
+		default:
+			return nil, fmt.Errorf("adl: unexpected %q (want \"memory {\" or \"connect {\")", line)
+		}
+	}
+	if !p.dramSeen {
+		return nil, fmt.Errorf("adl: memory section must declare a dram")
+	}
+	if !p.defaulted {
+		return nil, fmt.Errorf("adl: memory section must declare a default route")
+	}
+	if err := p.arch.Validate(); err != nil {
+		return nil, err
+	}
+	conn, err := p.buildConnect(connLines)
+	if err != nil {
+		return nil, err
+	}
+	return &System{Mem: p.arch, Conn: conn}, nil
+}
+
+func (p *parser) next() string {
+	l := p.lines[p.pos]
+	p.pos++
+	return l
+}
+
+// fields parses "key=value" tokens after the name.
+func fields(tokens []string) (map[string]string, error) {
+	out := map[string]string{}
+	for _, tok := range tokens {
+		k, v, ok := strings.Cut(tok, "=")
+		if !ok {
+			return nil, fmt.Errorf("expected key=value, got %q", tok)
+		}
+		if _, dup := out[k]; dup {
+			return nil, fmt.Errorf("duplicate attribute %q", k)
+		}
+		out[k] = v
+	}
+	return out, nil
+}
+
+func intAttr(attrs map[string]string, key string) (int, error) {
+	v, ok := attrs[key]
+	if !ok {
+		return 0, fmt.Errorf("missing attribute %q", key)
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("attribute %s: %v", key, err)
+	}
+	return n, nil
+}
+
+func floatAttr(attrs map[string]string, key string) (float64, error) {
+	v, ok := attrs[key]
+	if !ok {
+		return 0, fmt.Errorf("missing attribute %q", key)
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, fmt.Errorf("attribute %s: %v", key, err)
+	}
+	return f, nil
+}
+
+func (p *parser) parseMemory() error {
+	for p.pos < len(p.lines) {
+		line := p.next()
+		if line == "}" {
+			return nil
+		}
+		tokens := strings.Fields(line)
+		if len(tokens) < 2 {
+			return fmt.Errorf("adl: malformed memory line %q", line)
+		}
+		kind, name := tokens[0], tokens[1]
+		if kind == "default" {
+			if err := p.setDefault(name); err != nil {
+				return err
+			}
+			continue
+		}
+		attrs, err := fields(tokens[2:])
+		if err != nil {
+			return fmt.Errorf("adl: %s %s: %v", kind, name, err)
+		}
+		if err := p.addModule(kind, name, attrs); err != nil {
+			return fmt.Errorf("adl: %s %s: %v", kind, name, err)
+		}
+	}
+	return fmt.Errorf("adl: unterminated memory section")
+}
+
+func (p *parser) setDefault(name string) error {
+	if p.defaulted {
+		return fmt.Errorf("adl: duplicate default route")
+	}
+	p.defaulted = true
+	if name == "dram" {
+		p.arch.Default = mem.DirectDRAM
+		return nil
+	}
+	idx, ok := p.moduleIdx[name]
+	if !ok {
+		return fmt.Errorf("adl: default route to unknown module %q", name)
+	}
+	p.arch.Default = idx
+	return nil
+}
+
+func (p *parser) addModule(kind, name string, attrs map[string]string) error {
+	if _, dup := p.moduleIdx[name]; dup || name == "cpu" || name == "dram" {
+		return fmt.Errorf("module name %q already taken", name)
+	}
+	var m mem.Module
+	switch kind {
+	case "cache":
+		size, err := intAttr(attrs, "size")
+		if err != nil {
+			return err
+		}
+		line, err := intAttr(attrs, "line")
+		if err != nil {
+			return err
+		}
+		assoc, err := intAttr(attrs, "assoc")
+		if err != nil {
+			return err
+		}
+		if victim, ok := attrs["victim"]; ok {
+			lines, err := strconv.Atoi(victim)
+			if err != nil {
+				return fmt.Errorf("attribute victim: %v", err)
+			}
+			vc, err := mem.NewVictimCache(size, line, assoc, lines)
+			if err != nil {
+				return err
+			}
+			m = vc
+		} else if attrs["policy"] == "wt" {
+			c, err := mem.NewWriteThroughCache(size, line, assoc)
+			if err != nil {
+				return err
+			}
+			m = c
+		} else {
+			c, err := mem.NewCache(size, line, assoc)
+			if err != nil {
+				return err
+			}
+			m = c
+		}
+	case "sram":
+		size, err := intAttr(attrs, "size")
+		if err != nil {
+			return err
+		}
+		s, err := mem.NewSRAM(size)
+		if err != nil {
+			return err
+		}
+		m = s
+	case "stream":
+		line, err := intAttr(attrs, "line")
+		if err != nil {
+			return err
+		}
+		depth, err := intAttr(attrs, "depth")
+		if err != nil {
+			return err
+		}
+		s, err := mem.NewStreamBuffer(line, depth)
+		if err != nil {
+			return err
+		}
+		m = s
+	case "lldma":
+		buf, err := intAttr(attrs, "buf")
+		if err != nil {
+			return err
+		}
+		node, err := intAttr(attrs, "node")
+		if err != nil {
+			return err
+		}
+		pred, err := floatAttr(attrs, "pred")
+		if err != nil {
+			return err
+		}
+		d, err := mem.NewSelfIndirectDMA(buf, node, pred)
+		if err != nil {
+			return err
+		}
+		m = d
+	case "l2":
+		if p.arch.L2 != nil {
+			return fmt.Errorf("duplicate l2")
+		}
+		size, err := intAttr(attrs, "size")
+		if err != nil {
+			return err
+		}
+		line, err := intAttr(attrs, "line")
+		if err != nil {
+			return err
+		}
+		assoc, err := intAttr(attrs, "assoc")
+		if err != nil {
+			return err
+		}
+		c, err := mem.NewCache(size, line, assoc)
+		if err != nil {
+			return err
+		}
+		p.arch.L2 = c
+		return nil
+	case "dram":
+		if p.dramSeen {
+			return fmt.Errorf("duplicate dram")
+		}
+		p.dramSeen = true
+		rowHit, err := intAttr(attrs, "rowhit")
+		if err != nil {
+			return err
+		}
+		rowMiss, err := intAttr(attrs, "rowmiss")
+		if err != nil {
+			return err
+		}
+		rowBytes, err := intAttr(attrs, "rowbytes")
+		if err != nil {
+			return err
+		}
+		banks, err := intAttr(attrs, "banks")
+		if err != nil {
+			return err
+		}
+		d, err := mem.NewDRAM(rowHit, rowMiss, rowBytes, banks)
+		if err != nil {
+			return err
+		}
+		if attrs["policy"] == "closed" {
+			d.Policy = mem.ClosedRow
+		}
+		p.arch.DRAM = d
+		return nil
+	default:
+		return fmt.Errorf("unknown module kind %q", kind)
+	}
+	p.arch.Modules = append(p.arch.Modules, m)
+	p.moduleIdx[name] = len(p.arch.Modules) - 1
+	if ds, ok := attrs["map"]; ok {
+		if err := p.mapDS(ds, len(p.arch.Modules)-1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *parser) mapDS(names string, idx int) error {
+	for _, name := range strings.Split(names, ",") {
+		found := false
+		for i, d := range p.tr.DS {
+			if d.Name == name && i > 0 {
+				id := trace.DSID(i)
+				if _, dup := p.arch.Route[id]; dup {
+					return fmt.Errorf("data structure %q mapped twice", name)
+				}
+				p.arch.Route[id] = idx
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("trace has no data structure %q", name)
+		}
+	}
+	return nil
+}
+
+// buildConnect resolves the connect section against the memory
+// architecture's channel list.
+func (p *parser) buildConnect(lines []string) (*connect.Arch, error) {
+	channels := p.arch.Channels()
+	chanIdx := map[string]int{}
+	for i, ch := range channels {
+		chanIdx[p.channelKey(ch)] = i
+	}
+	conn := &connect.Arch{Channels: channels}
+	covered := map[int]bool{}
+	for _, line := range lines {
+		tokens := strings.Fields(line)
+		if len(tokens) < 3 || tokens[0] != "link" {
+			return nil, fmt.Errorf("adl: malformed connect line %q", line)
+		}
+		attrs, err := fields(tokens[2:])
+		if err != nil {
+			return nil, fmt.Errorf("adl: link %s: %v", tokens[1], err)
+		}
+		compName, ok := attrs["comp"]
+		if !ok {
+			return nil, fmt.Errorf("adl: link %s: missing comp=", tokens[1])
+		}
+		comp, err := connect.ByName(p.lib, compName)
+		if err != nil {
+			return nil, err
+		}
+		chans, ok := attrs["channels"]
+		if !ok {
+			return nil, fmt.Errorf("adl: link %s: missing channels=", tokens[1])
+		}
+		var cluster []int
+		for _, c := range strings.Split(chans, ",") {
+			idx, ok := chanIdx[c]
+			if !ok {
+				return nil, fmt.Errorf("adl: link %s: unknown channel %q (architecture has %v)",
+					tokens[1], c, p.channelKeys(channels))
+			}
+			if covered[idx] {
+				return nil, fmt.Errorf("adl: channel %q assigned twice", c)
+			}
+			covered[idx] = true
+			cluster = append(cluster, idx)
+		}
+		conn.Clusters = append(conn.Clusters, cluster)
+		conn.Assign = append(conn.Assign, comp)
+	}
+	if err := conn.Validate(); err != nil {
+		return nil, err
+	}
+	return conn, nil
+}
+
+// channelKey renders a channel as the ADL's "cpu:<mod>" / "<mod>:dram".
+func (p *parser) channelKey(ch mem.Channel) string {
+	name := func(idx int) string {
+		for n, i := range p.moduleIdx {
+			if i == idx {
+				return n
+			}
+		}
+		return "?"
+	}
+	switch ch.Kind {
+	case mem.ChanCPUModule:
+		return "cpu:" + name(ch.Module)
+	case mem.ChanModuleDRAM:
+		return name(ch.Module) + ":dram"
+	case mem.ChanCPUDRAM:
+		return "cpu:dram"
+	case mem.ChanModuleL2:
+		return name(ch.Module) + ":l2"
+	case mem.ChanL2DRAM:
+		return "l2:dram"
+	default:
+		return "?"
+	}
+}
+
+func (p *parser) channelKeys(channels []mem.Channel) []string {
+	out := make([]string, len(channels))
+	for i, ch := range channels {
+		out[i] = p.channelKey(ch)
+	}
+	return out
+}

@@ -1,0 +1,371 @@
+package adl
+
+import (
+	"strings"
+	"testing"
+
+	"memorex/internal/connect"
+	"memorex/internal/mem"
+	"memorex/internal/sim"
+	"memorex/internal/workload"
+)
+
+const vocoderSystem = `
+# A hand-written vocoder platform.
+memory {
+  cache  l1 size=4096 line=32 assoc=2 policy=wb
+  sram   sp size=1024 map=work
+  stream sb line=32 depth=4 map=speech
+  dram   main rowhit=8 rowmiss=20 rowbytes=2048 banks=4 policy=open
+  default l1
+}
+connect {
+  link cpu_bus comp=ahb32 channels=cpu:l1,cpu:sp,cpu:sb
+  link ext     comp=off32 channels=l1:dram,sb:dram
+}
+`
+
+func TestParseFullSystem(t *testing.T) {
+	tr := workload.Vocoder{}.Generate(workload.DefaultConfig())
+	sys, err := Parse(vocoderSystem, tr, connect.Library())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sys.Mem.Modules) != 3 {
+		t.Fatalf("want 3 modules, got %d", len(sys.Mem.Modules))
+	}
+	if sys.Mem.DRAM == nil || sys.Mem.DRAM.Policy != mem.OpenRow {
+		t.Fatal("dram missing or wrong policy")
+	}
+	if len(sys.Mem.Route) != 2 {
+		t.Fatalf("want 2 mapped structures, got %d", len(sys.Mem.Route))
+	}
+	if len(sys.Conn.Clusters) != 2 {
+		t.Fatalf("want 2 links, got %d", len(sys.Conn.Clusters))
+	}
+	// The parsed system must actually simulate.
+	s, err := sim.New(sys.Mem, sys.Conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.Run(tr.Slice(0, 50_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MissRatio() > 0.05 {
+		t.Fatalf("parsed vocoder platform misses too much: %.4f", r.MissRatio())
+	}
+}
+
+func TestParseModuleVariants(t *testing.T) {
+	tr := workload.Li{}.Generate(workload.Config{Scale: 1, Seed: 1})
+	src := `
+memory {
+  cache  l1 size=2048 line=32 assoc=1 policy=wt
+  cache  l2 size=4096 line=32 assoc=2 victim=4
+  lldma  ld buf=256 node=8 pred=0.42 map=heap
+  dram   m rowhit=8 rowmiss=20 rowbytes=1024 banks=2 policy=closed
+  default l1
+}
+connect {
+  link a comp=mux32 channels=cpu:l1,cpu:l2,cpu:ld
+  link b comp=off16 channels=l1:dram,l2:dram,ld:dram
+}
+`
+	sys, err := Parse(src, tr, connect.Library())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c, ok := sys.Mem.Modules[0].(*mem.Cache); !ok || c.Policy != mem.WriteThrough {
+		t.Fatal("write-through cache not parsed")
+	}
+	if _, ok := sys.Mem.Modules[1].(*mem.VictimCache); !ok {
+		t.Fatal("victim cache not parsed")
+	}
+	if sys.Mem.DRAM.Policy != mem.ClosedRow {
+		t.Fatal("closed-row policy not parsed")
+	}
+}
+
+func TestParseDefaultDRAM(t *testing.T) {
+	tr := workload.Synthetic(workload.SynStream, 100, 1024, 1)
+	src := `
+memory {
+  dram m rowhit=8 rowmiss=20 rowbytes=1024 banks=2
+  default dram
+}
+connect {
+  link x comp=off32 channels=cpu:dram
+}
+`
+	sys, err := Parse(src, tr, connect.Library())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Mem.Default != mem.DirectDRAM {
+		t.Fatal("default dram not parsed")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	tr := workload.Synthetic(workload.SynStream, 100, 1024, 1)
+	lib := connect.Library()
+	cases := map[string]string{
+		"no dram": `
+memory {
+  cache l1 size=1024 line=32 assoc=1
+  default l1
+}
+`,
+		"no default": `
+memory {
+  dram m rowhit=8 rowmiss=20 rowbytes=1024 banks=2
+}
+`,
+		"unknown kind": `
+memory {
+  flash f size=100
+  dram m rowhit=8 rowmiss=20 rowbytes=1024 banks=2
+  default dram
+}
+`,
+		"bad attr": `
+memory {
+  cache l1 size=big line=32 assoc=1
+  dram m rowhit=8 rowmiss=20 rowbytes=1024 banks=2
+  default l1
+}
+`,
+		"dup module": `
+memory {
+  cache l1 size=1024 line=32 assoc=1
+  sram  l1 size=64
+  dram m rowhit=8 rowmiss=20 rowbytes=1024 banks=2
+  default l1
+}
+`,
+		"unknown map": `
+memory {
+  sram s size=64 map=nonesuch
+  dram m rowhit=8 rowmiss=20 rowbytes=1024 banks=2
+  default dram
+}
+`,
+		"unknown default": `
+memory {
+  dram m rowhit=8 rowmiss=20 rowbytes=1024 banks=2
+  default l9
+}
+`,
+		"unknown component": `
+memory {
+  dram m rowhit=8 rowmiss=20 rowbytes=1024 banks=2
+  default dram
+}
+connect {
+  link x comp=warp channels=cpu:dram
+}
+`,
+		"unknown channel": `
+memory {
+  dram m rowhit=8 rowmiss=20 rowbytes=1024 banks=2
+  default dram
+}
+connect {
+  link x comp=off32 channels=cpu:l1
+}
+`,
+		"channel uncovered": `
+memory {
+  cache l1 size=1024 line=32 assoc=1
+  dram m rowhit=8 rowmiss=20 rowbytes=1024 banks=2
+  default l1
+}
+connect {
+  link x comp=ahb32 channels=cpu:l1
+}
+`,
+		"channel twice": `
+memory {
+  dram m rowhit=8 rowmiss=20 rowbytes=1024 banks=2
+  default dram
+}
+connect {
+  link x comp=off32 channels=cpu:dram
+  link y comp=off16 channels=cpu:dram
+}
+`,
+		"malformed line": `
+memory {
+  cache
+  dram m rowhit=8 rowmiss=20 rowbytes=1024 banks=2
+  default dram
+}
+`,
+		"garbage top level": `banana { }`,
+		"dup attr": `
+memory {
+  cache l1 size=1024 size=2048 line=32 assoc=1
+  dram m rowhit=8 rowmiss=20 rowbytes=1024 banks=2
+  default l1
+}
+`,
+	}
+	for name, src := range cases {
+		if _, err := Parse(src, tr, lib); err == nil {
+			t.Fatalf("%s: accepted", name)
+		}
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	tr := workload.Synthetic(workload.SynStream, 100, 1024, 1)
+	src := `
+# leading comment
+memory {
+  dram m rowhit=8 rowmiss=20 rowbytes=1024 banks=2 # trailing comment
+  default dram
+}
+connect {
+  link x comp=off32 channels=cpu:dram
+}
+`
+	if _, err := Parse(src, tr, connect.Library()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErrorMessagesNameTheProblem(t *testing.T) {
+	tr := workload.Synthetic(workload.SynStream, 100, 1024, 1)
+	src := `
+memory {
+  dram m rowhit=8 rowmiss=20 rowbytes=1024 banks=2
+  default dram
+}
+connect {
+  link x comp=off32 channels=cpu:wrong
+}
+`
+	_, err := Parse(src, tr, connect.Library())
+	if err == nil || !strings.Contains(err.Error(), "cpu:wrong") {
+		t.Fatalf("error should name the bad channel: %v", err)
+	}
+}
+
+func TestFormatParseRoundTrip(t *testing.T) {
+	tr := workload.Vocoder{}.Generate(workload.DefaultConfig())
+	sys, err := Parse(vocoderSystem, tr, connect.Library())
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := Format(sys.Mem, sys.Conn, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys2, err := Parse(src, tr, connect.Library())
+	if err != nil {
+		t.Fatalf("Format output does not re-parse: %v\n%s", err, src)
+	}
+	// Equivalence: same gates, same simulated behaviour.
+	if sys.Mem.Gates() != sys2.Mem.Gates() || sys.Conn.Gates() != sys2.Conn.Gates() {
+		t.Fatal("round trip changed gate counts")
+	}
+	short := tr.Slice(0, 30_000)
+	run := func(m *mem.Architecture, c *connect.Arch) (float64, float64) {
+		s, err := sim.New(m, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := s.Run(short)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.AvgLatency(), r.AvgEnergy()
+	}
+	l1, e1 := run(sys.Mem, sys.Conn)
+	l2, e2 := run(sys2.Mem, sys2.Conn)
+	if l1 != l2 || e1 != e2 {
+		t.Fatalf("round trip changed behaviour: %.3f/%.3f vs %.3f/%.3f", l1, e1, l2, e2)
+	}
+}
+
+func TestFormatAllModuleKinds(t *testing.T) {
+	tr := workload.Li{}.Generate(workload.Config{Scale: 1, Seed: 1})
+	src := `
+memory {
+  cache  l1 size=2048 line=32 assoc=1 policy=wt
+  cache  l2 size=4096 line=32 assoc=2 victim=4
+  lldma  ld buf=256 node=8 pred=0.42 map=heap
+  sram   sp size=5824 map=stack
+  stream sb line=32 depth=8
+  dram   m rowhit=8 rowmiss=20 rowbytes=1024 banks=2 policy=closed
+  default l2
+}
+connect {
+  link a comp=ahb32 channels=cpu:l1,cpu:l2,cpu:ld,cpu:sp,cpu:sb
+  link b comp=off16 channels=l1:dram,l2:dram,ld:dram,sb:dram
+}
+`
+	sys, err := Parse(src, tr, connect.Library())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Format(sys.Mem, sys.Conn, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys2, err := Parse(out, tr, connect.Library())
+	if err != nil {
+		t.Fatalf("round trip of all module kinds failed: %v\n%s", err, out)
+	}
+	if len(sys2.Mem.Modules) != len(sys.Mem.Modules) {
+		t.Fatal("module count changed")
+	}
+	for _, want := range []string{"policy=wt", "victim=4", "pred=0.42", "policy=closed"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("formatted ADL missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestParseAndFormatL2(t *testing.T) {
+	tr := workload.Compress{}.Generate(workload.Config{Scale: 1, Seed: 42})
+	src := `
+memory {
+  cache l1 size=1024 line=32 assoc=2
+  l2    l2 size=32768 line=32 assoc=4
+  dram  m  rowhit=8 rowmiss=20 rowbytes=2048 banks=4
+  default l1
+}
+connect {
+  link a comp=ahb32 channels=cpu:l1,l1:l2
+  link b comp=off32 channels=l2:dram
+}
+`
+	sys, err := Parse(src, tr, connect.Library())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Mem.L2 == nil || sys.Mem.L2.SizeBytes != 32768 {
+		t.Fatal("L2 not parsed")
+	}
+	// Simulate and round trip.
+	s, err := sim.New(sys.Mem, sys.Conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(tr.Slice(0, 20_000)); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Format(sys.Mem, sys.Conn, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys2, err := Parse(out, tr, connect.Library())
+	if err != nil {
+		t.Fatalf("L2 round trip failed: %v\n%s", err, out)
+	}
+	if sys2.Mem.L2 == nil || sys2.Mem.Gates() != sys.Mem.Gates() {
+		t.Fatal("L2 round trip changed the system")
+	}
+}

@@ -1,0 +1,308 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"memorex/internal/connect"
+	"memorex/internal/mem"
+	"memorex/internal/pareto"
+	"memorex/internal/sampling"
+	"memorex/internal/sim"
+	"memorex/internal/trace"
+)
+
+// DesignPoint is one evaluated memory+connectivity design.
+type DesignPoint struct {
+	MemArch *mem.Architecture
+	Conn    *connect.Arch
+	// Cost is the total on-chip area: memory modules + connectivity.
+	Cost float64
+	// Latency is the average memory latency in cycles per access.
+	Latency float64
+	// Energy is the average energy in nJ per access.
+	Energy float64
+	// Estimated is true for Phase I (time-sampled) figures and false
+	// after Phase II full simulation.
+	Estimated bool
+}
+
+// Point converts the design to a pareto point carrying the design as
+// metadata.
+func (d *DesignPoint) Point() pareto.Point {
+	return pareto.Point{
+		Label:   d.Label(),
+		Cost:    d.Cost,
+		Latency: d.Latency,
+		Energy:  d.Energy,
+		Meta:    d,
+	}
+}
+
+// Label returns a compact design identifier.
+func (d *DesignPoint) Label() string {
+	if d.MemArch == nil || d.Conn == nil {
+		return "(unbound design)"
+	}
+	return fmt.Sprintf("%s | %s", d.MemArch.Name, d.Conn.Describe(d.MemArch))
+}
+
+// Config parameterizes the ConEx exploration.
+type Config struct {
+	// Library is the connectivity IP library.
+	Library []connect.Component
+	// Sampling configures the Phase I estimator.
+	Sampling sampling.Config
+	// MaxAssignPerLevel caps the assignments enumerated per clustering
+	// level (bounded-enumeration heuristic).
+	MaxAssignPerLevel int
+	// KeepPerArch is how many locally promising designs each memory
+	// architecture contributes to Phase II.
+	KeepPerArch int
+	// Workers bounds evaluation parallelism (0 = GOMAXPROCS).
+	Workers int
+}
+
+// DefaultConfig returns the configuration used by the experiments.
+func DefaultConfig() Config {
+	return Config{
+		Library:           connect.Library(),
+		Sampling:          sampling.DefaultConfig(),
+		MaxAssignPerLevel: 192,
+		KeepPerArch:       8,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if len(c.Library) == 0 {
+		return fmt.Errorf("core: empty connectivity library")
+	}
+	if err := c.Sampling.Validate(); err != nil {
+		return err
+	}
+	if c.KeepPerArch <= 0 {
+		return fmt.Errorf("core: KeepPerArch must be positive")
+	}
+	if c.MaxAssignPerLevel < 0 {
+		return fmt.Errorf("core: MaxAssignPerLevel must be non-negative")
+	}
+	return nil
+}
+
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Result is the outcome of the full ConEx exploration.
+type Result struct {
+	// PerArch holds the Phase I estimated points per memory
+	// architecture, in evaluation order.
+	PerArch [][]DesignPoint
+	// Combined is the Phase II fully simulated set.
+	Combined []DesignPoint
+	// CostPerfFront is the global cost/latency pareto front of
+	// Combined, ordered by ascending cost.
+	CostPerfFront []DesignPoint
+	// EstimatedAccesses and SimulatedAccesses measure the exploration
+	// work (Phase I sampled accesses and Phase II full-sim accesses).
+	EstimatedAccesses int64
+	SimulatedAccesses int64
+	// DroppedAssignments counts assignments skipped by the enumeration
+	// cap (0 = the level cross products were explored exhaustively).
+	DroppedAssignments int64
+}
+
+// Points returns the combined designs as pareto points.
+func (r *Result) Points() []pareto.Point {
+	out := make([]pareto.Point, len(r.Combined))
+	for i := range r.Combined {
+		out[i] = r.Combined[i].Point()
+	}
+	return out
+}
+
+// ConnectivityExploration is the per-memory-architecture procedure of
+// Figure 5: build the BRG, walk the clustering hierarchy, enumerate
+// feasible assignments at each level, and estimate every candidate with
+// time-sampled simulation. It returns all estimated design points plus
+// the sampled-access work count and the number of assignments dropped
+// by the enumeration cap.
+func ConnectivityExploration(t *trace.Trace, arch *mem.Architecture, cfg Config) ([]DesignPoint, int64, int64, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, 0, 0, err
+	}
+	brg, err := BuildBRG(t, arch)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	var candidates []*connect.Arch
+	var dropped int64
+	for _, level := range Levels(brg) {
+		archs, d := EnumerateAssignments(brg, level, cfg.Library, cfg.MaxAssignPerLevel)
+		candidates = append(candidates, archs...)
+		dropped += d
+	}
+	points := make([]DesignPoint, len(candidates))
+	errs := make([]error, len(candidates))
+	var work int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, cfg.workers())
+	for i, conn := range candidates {
+		wg.Add(1)
+		go func(i int, conn *connect.Arch) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			r, simulated, err := sampling.Estimate(t, arch, conn, cfg.Sampling)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			points[i] = DesignPoint{
+				MemArch:   arch,
+				Conn:      conn,
+				Cost:      arch.Gates() + conn.Gates(),
+				Latency:   r.AvgLatency(),
+				Energy:    r.AvgEnergy(),
+				Estimated: true,
+			}
+			mu.Lock()
+			work += simulated
+			mu.Unlock()
+		}(i, conn)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, 0, 0, err
+		}
+	}
+	return points, work, dropped, nil
+}
+
+// SelectLocal picks the locally most promising designs of one memory
+// architecture: the union of the pareto fronts in the three metric
+// projections, thinned to keep points.
+func SelectLocal(points []DesignPoint, keep int) []DesignPoint {
+	if len(points) == 0 {
+		return nil
+	}
+	pts := make([]pareto.Point, len(points))
+	for i := range points {
+		pts[i] = points[i].Point()
+		pts[i].Meta = i
+	}
+	seen := map[int]bool{}
+	var picked []DesignPoint
+	addFront := func(x, y pareto.Dim) {
+		for _, p := range pareto.Front(pts, x, y) {
+			i := p.Meta.(int)
+			if !seen[i] {
+				seen[i] = true
+				picked = append(picked, points[i])
+			}
+		}
+	}
+	addFront(pareto.Cost, pareto.Latency)
+	addFront(pareto.Latency, pareto.Energy)
+	addFront(pareto.Cost, pareto.Energy)
+	if len(picked) <= keep {
+		return picked
+	}
+	if keep == 1 {
+		return picked[:1]
+	}
+	// Thin deterministically, preferring the cost/latency front order.
+	out := make([]DesignPoint, 0, keep)
+	for i := 0; i < keep; i++ {
+		out = append(out, picked[i*(len(picked)-1)/(keep-1)])
+	}
+	return out
+}
+
+// Explore runs the full two-phase ConEx algorithm over the memory
+// architectures selected by APEX.
+func Explore(t *trace.Trace, memArchs []*mem.Architecture, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(memArchs) == 0 {
+		return nil, fmt.Errorf("core: no memory architectures to explore")
+	}
+	res := &Result{}
+
+	// Phase I: per-architecture estimation and local selection.
+	var phase2 []DesignPoint
+	for _, arch := range memArchs {
+		points, work, dropped, err := ConnectivityExploration(t, arch, cfg)
+		if err != nil {
+			return nil, err
+		}
+		res.EstimatedAccesses += work
+		res.DroppedAssignments += dropped
+		res.PerArch = append(res.PerArch, points)
+		phase2 = append(phase2, SelectLocal(points, cfg.KeepPerArch)...)
+	}
+
+	// Phase II: full simulation of the combined promising set.
+	combined := make([]DesignPoint, len(phase2))
+	errs := make([]error, len(phase2))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, cfg.workers())
+	for i := range phase2 {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			dp, work, err := FullSimulate(t, phase2[i].MemArch, phase2[i].Conn)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			combined[i] = *dp
+			mu.Lock()
+			res.SimulatedAccesses += work
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	res.Combined = combined
+
+	for _, p := range pareto.Front(res.Points(), pareto.Cost, pareto.Latency) {
+		res.CostPerfFront = append(res.CostPerfFront, *p.Meta.(*DesignPoint))
+	}
+	return res, nil
+}
+
+// FullSimulate runs the full (non-sampled) simulation of one design and
+// returns its exact design point plus the simulated access count.
+func FullSimulate(t *trace.Trace, arch *mem.Architecture, conn *connect.Arch) (*DesignPoint, int64, error) {
+	s, err := sim.New(arch, conn)
+	if err != nil {
+		return nil, 0, err
+	}
+	r, err := s.Run(t)
+	if err != nil {
+		return nil, 0, err
+	}
+	return &DesignPoint{
+		MemArch: arch,
+		Conn:    conn,
+		Cost:    arch.Gates() + conn.Gates(),
+		Latency: r.AvgLatency(),
+		Energy:  r.AvgEnergy(),
+	}, r.Accesses, nil
+}

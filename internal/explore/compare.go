@@ -1,0 +1,102 @@
+package explore
+
+import (
+	"fmt"
+	"time"
+
+	"memorex/internal/pareto"
+)
+
+// CoverageTol is the relative tolerance at which a design point counts
+// as "found": metric triples within 0.5% on every axis are the same
+// design for Table 2's purposes (full and sampled runs of the same
+// architecture agree to well within this).
+const CoverageTol = 0.005
+
+// StrategyMetrics is one column of Table 2 for one strategy.
+type StrategyMetrics struct {
+	Strategy Strategy
+	// Coverage is the fraction of true pareto points found.
+	Coverage float64
+	// Distance holds the average per-axis deviation of missed points.
+	Distance pareto.Distance
+	// WorkAccesses and Wall measure the exploration effort (the paper
+	// reports wall time: 2 days / 2 weeks / 1 month for compress).
+	WorkAccesses int64
+	Wall         time.Duration
+	// DesignsSimulated is the number of fully simulated designs.
+	DesignsSimulated int
+	// Hypervolume is the cost/latency area the strategy's front
+	// dominates, normalized to the Full front's hypervolume (1.0 means
+	// the strategy's front is as good as the truth even where it found
+	// different points).
+	Hypervolume float64
+}
+
+// Comparison is Table 2 for one benchmark: each strategy measured
+// against the Full truth.
+type Comparison struct {
+	Benchmark string
+	// TruthFront is the pareto front of the Full exploration.
+	TruthFront []pareto.Point
+	Metrics    []StrategyMetrics
+}
+
+// Compare evaluates outcomes against the full outcome. The full outcome
+// itself is included as the reference column (coverage 1, distance 0 by
+// construction).
+func Compare(benchmark string, full *Outcome, others ...*Outcome) *Comparison {
+	c := &Comparison{Benchmark: benchmark, TruthFront: full.Front}
+	// Hypervolume reference: just beyond the worst corner of the truth.
+	var refC, refL float64
+	for _, p := range full.Front {
+		if p.Cost > refC {
+			refC = p.Cost
+		}
+		if p.Latency > refL {
+			refL = p.Latency
+		}
+	}
+	refC *= 1.1
+	refL *= 1.1
+	fullHV := pareto.Hypervolume2D(full.Front, pareto.Cost, pareto.Latency, refC, refL)
+	for _, o := range append([]*Outcome{full}, others...) {
+		m := StrategyMetrics{
+			Strategy:         o.Strategy,
+			Coverage:         pareto.Coverage(o.Front, full.Front, CoverageTol),
+			Distance:         pareto.AvgDistance(o.Front, full.Front, CoverageTol),
+			WorkAccesses:     o.WorkAccesses,
+			Wall:             o.Wall,
+			DesignsSimulated: len(o.Points),
+		}
+		if fullHV > 0 {
+			m.Hypervolume = pareto.Hypervolume2D(o.Front, pareto.Cost, pareto.Latency, refC, refL) / fullHV
+		}
+		c.Metrics = append(c.Metrics, m)
+	}
+	return c
+}
+
+// String renders the comparison in the layout of the paper's Table 2.
+func (c *Comparison) String() string {
+	s := fmt.Sprintf("%-10s %-22s", "Benchmark", "Category")
+	for _, m := range c.Metrics {
+		s += fmt.Sprintf(" %14s", m.Strategy)
+	}
+	s += "\n"
+	row := func(label string, f func(m StrategyMetrics) string) {
+		s += fmt.Sprintf("%-10s %-22s", c.Benchmark, label)
+		for _, m := range c.Metrics {
+			s += fmt.Sprintf(" %14s", f(m))
+		}
+		s += "\n"
+	}
+	row("Work [accesses]", func(m StrategyMetrics) string { return fmt.Sprintf("%d", m.WorkAccesses) })
+	row("Time", func(m StrategyMetrics) string { return m.Wall.Round(time.Millisecond).String() })
+	row("Coverage [%]", func(m StrategyMetrics) string { return fmt.Sprintf("%.0f%%", m.Coverage*100) })
+	row("Avg. cost dist [%]", func(m StrategyMetrics) string { return fmt.Sprintf("%.2f%%", m.Distance.CostPct) })
+	row("Avg. perf. dist [%]", func(m StrategyMetrics) string { return fmt.Sprintf("%.2f%%", m.Distance.LatencyPct) })
+	row("Avg. energ. dist [%]", func(m StrategyMetrics) string { return fmt.Sprintf("%.2f%%", m.Distance.EnergyPct) })
+	row("Hypervolume [rel]", func(m StrategyMetrics) string { return fmt.Sprintf("%.3f", m.Hypervolume) })
+	return s
+}

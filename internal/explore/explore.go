@@ -1,0 +1,340 @@
+// Package explore provides the three exploration drivers compared in
+// Table 2 of the paper:
+//
+//   - Full: brute force — every memory-modules candidate architecture is
+//     combined with every connectivity clustering level and assignment,
+//     and every combination is fully simulated. This determines the true
+//     pareto curve (and is what the paper calls infeasible for li).
+//   - Pruned: the paper's approach — only APEX's most promising memory
+//     architectures enter the connectivity exploration, candidates are
+//     estimated with time sampling, and only locally promising designs
+//     are fully simulated (ConEx Phase I + II).
+//   - Neighborhood: Pruned, widened — the memory architectures
+//     neighbouring the selected ones on the cost axis are included, and
+//     each architecture contributes more locally promising designs.
+//
+// The package also computes Table 2's coverage and average-distance
+// metrics of each strategy against the Full truth.
+package explore
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"memorex/internal/apex"
+	"memorex/internal/connect"
+	"memorex/internal/core"
+	"memorex/internal/mem"
+	"memorex/internal/pareto"
+	"memorex/internal/trace"
+)
+
+// Strategy selects an exploration driver.
+type Strategy int
+
+// Exploration strategies.
+const (
+	Full Strategy = iota
+	Pruned
+	Neighborhood
+)
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	switch s {
+	case Full:
+		return "full"
+	case Pruned:
+		return "pruned"
+	case Neighborhood:
+		return "neighborhood"
+	default:
+		return fmt.Sprintf("strategy(%d)", int(s))
+	}
+}
+
+// Space is the combined memory+connectivity design space the drivers
+// walk. Build it from an APEX result with BuildSpace.
+type Space struct {
+	// AllMem is every memory-modules candidate (the Full space).
+	AllMem []*mem.Architecture
+	// SelectedMem is APEX's pareto selection (the Pruned entry set).
+	SelectedMem []*mem.Architecture
+	// NeighborMem adds the cost-axis neighbours of every selected
+	// architecture (the Neighborhood entry set).
+	NeighborMem []*mem.Architecture
+}
+
+// BuildSpace derives the three entry sets from an APEX exploration
+// result. Neighbours are the candidates adjacent in gate cost to each
+// selected design.
+func BuildSpace(res *apex.Result) *Space {
+	sp := &Space{}
+	// Candidates sorted by cost (APEX reports them in sweep order; we
+	// need the cost axis for neighbourhoods).
+	sorted := append([]apex.DesignPoint(nil), res.All...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j].Gates < sorted[j-1].Gates; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	for _, dp := range sorted {
+		sp.AllMem = append(sp.AllMem, dp.Arch)
+	}
+	selected := map[*mem.Architecture]bool{}
+	for _, dp := range res.Selected {
+		sp.SelectedMem = append(sp.SelectedMem, dp.Arch)
+		selected[dp.Arch] = true
+	}
+	inNbhd := map[*mem.Architecture]bool{}
+	add := func(a *mem.Architecture) {
+		if !inNbhd[a] {
+			inNbhd[a] = true
+			sp.NeighborMem = append(sp.NeighborMem, a)
+		}
+	}
+	for i, dp := range sorted {
+		if !selected[dp.Arch] {
+			continue
+		}
+		if i > 0 {
+			add(sorted[i-1].Arch)
+		}
+		add(dp.Arch)
+		if i+1 < len(sorted) {
+			add(sorted[i+1].Arch)
+		}
+	}
+	return sp
+}
+
+// Outcome is the result of one exploration strategy.
+type Outcome struct {
+	Strategy Strategy
+	// Points is every fully simulated design the strategy produced.
+	Points []core.DesignPoint
+	// Front is the strategy's cost/latency pareto front.
+	Front []pareto.Point
+	// WorkAccesses counts all simulated accesses (estimation + full).
+	WorkAccesses int64
+	// Wall is the measured wall-clock time of the strategy.
+	Wall time.Duration
+}
+
+// Run executes the given strategy over the space.
+func Run(t *trace.Trace, sp *Space, strategy Strategy, cfg core.Config) (*Outcome, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	out := &Outcome{Strategy: strategy}
+	switch strategy {
+	case Full:
+		if err := runFull(t, sp.AllMem, cfg, out); err != nil {
+			return nil, err
+		}
+	case Pruned:
+		res, err := core.Explore(t, sp.SelectedMem, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out.Points = res.Combined
+		out.WorkAccesses = res.EstimatedAccesses + res.SimulatedAccesses
+	case Neighborhood:
+		wide := cfg
+		wide.KeepPerArch = cfg.KeepPerArch * 2
+		res, err := core.Explore(t, sp.NeighborMem, wide)
+		if err != nil {
+			return nil, err
+		}
+		out.Points = res.Combined
+		out.WorkAccesses = res.EstimatedAccesses + res.SimulatedAccesses
+		// Expand the connectivity neighborhood of the selected (pareto)
+		// designs: fully simulate each single-component swap (the
+		// paper's "points in the neighborhood of the selected points").
+		sel := selectedFronts(res.Combined)
+		extra, work, err := connectivityNeighbors(t, res.Combined, sel, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out.Points = append(out.Points, extra...)
+		out.WorkAccesses += work
+	default:
+		return nil, fmt.Errorf("explore: unknown strategy %d", strategy)
+	}
+	pts := make([]pareto.Point, len(out.Points))
+	for i := range out.Points {
+		pts[i] = out.Points[i].Point()
+	}
+	out.Front = pareto.Front(pts, pareto.Cost, pareto.Latency)
+	out.Wall = time.Since(start)
+	return out, nil
+}
+
+// selectedFronts returns the union of the three 2-D pareto fronts of the
+// designs — the "selected points" whose neighborhood is worth expanding.
+func selectedFronts(points []core.DesignPoint) []core.DesignPoint {
+	pts := make([]pareto.Point, len(points))
+	for i := range points {
+		pts[i] = points[i].Point()
+		pts[i].Meta = i
+	}
+	seen := map[int]bool{}
+	var out []core.DesignPoint
+	for _, proj := range [][2]pareto.Dim{
+		{pareto.Cost, pareto.Latency},
+		{pareto.Latency, pareto.Energy},
+		{pareto.Cost, pareto.Energy},
+	} {
+		for _, p := range pareto.Front(pts, proj[0], proj[1]) {
+			i := p.Meta.(int)
+			if !seen[i] {
+				seen[i] = true
+				out = append(out, points[i])
+			}
+		}
+	}
+	return out
+}
+
+// connectivityNeighbors fully simulates every single-component swap of
+// every design in expand, skipping designs already present in seed (and
+// deduplicating across the generated neighbors themselves).
+func connectivityNeighbors(t *trace.Trace, seed, expand []core.DesignPoint, cfg core.Config) ([]core.DesignPoint, int64, error) {
+	type job struct {
+		arch *mem.Architecture
+		conn *connect.Arch
+	}
+	seen := map[string]bool{}
+	sig := func(arch *mem.Architecture, conn *connect.Arch) string {
+		s := arch.Name
+		for i := range conn.Clusters {
+			s += "|" + conn.Assign[i].Name
+			for _, ch := range conn.Clusters[i] {
+				s += fmt.Sprintf(",%d", ch)
+			}
+		}
+		return s
+	}
+	var jobs []job
+	for _, dp := range seed {
+		seen[sig(dp.MemArch, dp.Conn)] = true
+	}
+	for _, dp := range expand {
+		for ci := range dp.Conn.Clusters {
+			ports := len(dp.Conn.Clusters[ci]) + 1
+			off := dp.Conn.Channels[dp.Conn.Clusters[ci][0]].OffChip
+			for _, comp := range cfg.Library {
+				if comp.Name == dp.Conn.Assign[ci].Name || !comp.Fits(ports, off) {
+					continue
+				}
+				neighbor := &connect.Arch{
+					Channels: dp.Conn.Channels,
+					Clusters: dp.Conn.Clusters,
+					Assign:   append([]connect.Component(nil), dp.Conn.Assign...),
+				}
+				neighbor.Assign[ci] = comp
+				s := sig(dp.MemArch, neighbor)
+				if seen[s] {
+					continue
+				}
+				seen[s] = true
+				jobs = append(jobs, job{arch: dp.MemArch, conn: neighbor})
+			}
+		}
+	}
+	extra := make([]core.DesignPoint, len(jobs))
+	errs := make([]error, len(jobs))
+	var work int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	sem := make(chan struct{}, workers)
+	for i := range jobs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			dp, w, err := core.FullSimulate(t, jobs[i].arch, jobs[i].conn)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			extra[i] = *dp
+			mu.Lock()
+			work += w
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, 0, err
+		}
+	}
+	return extra, work, nil
+}
+
+// runFull simulates the entire combined space.
+func runFull(t *trace.Trace, memArchs []*mem.Architecture, cfg core.Config, out *Outcome) error {
+	type job struct {
+		arch *mem.Architecture
+		conn *connect.Arch
+	}
+	// Enumerate all candidate (memory, connectivity) pairs first.
+	var jobs []job
+	for _, arch := range memArchs {
+		brg, err := core.BuildBRG(t, arch)
+		if err != nil {
+			return err
+		}
+		for _, level := range core.Levels(brg) {
+			cands, _ := core.EnumerateAssignments(brg, level, cfg.Library, cfg.MaxAssignPerLevel)
+			for _, c := range cands {
+				jobs = append(jobs, job{arch: arch, conn: c})
+			}
+		}
+	}
+	points := make([]core.DesignPoint, len(jobs))
+	errs := make([]error, len(jobs))
+	var work int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	sem := make(chan struct{}, workers)
+	for i := range jobs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			dp, w, err := core.FullSimulate(t, jobs[i].arch, jobs[i].conn)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			points[i] = *dp
+			mu.Lock()
+			work += w
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	out.Points = points
+	out.WorkAccesses = work
+	return nil
+}

@@ -1,0 +1,267 @@
+// Package integration_test checks cross-module invariants of the whole
+// MemorEx stack that no single package can verify alone.
+package integration_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"memorex/internal/apex"
+	"memorex/internal/connect"
+	"memorex/internal/core"
+	"memorex/internal/explore"
+	"memorex/internal/mem"
+	"memorex/internal/sampling"
+	"memorex/internal/sim"
+	"memorex/internal/trace"
+	"memorex/internal/workload"
+)
+
+func compressSlice(t testing.TB, n int) *trace.Trace {
+	t.Helper()
+	return workload.Compress{}.Generate(workload.DefaultConfig()).Slice(0, n)
+}
+
+func singleCacheArch(size int) *mem.Architecture {
+	return &mem.Architecture{
+		Name:    "c",
+		Modules: []mem.Module{mem.MustCache(size, 32, 2)},
+		DRAM:    mem.DefaultDRAM(),
+		Default: 0,
+	}
+}
+
+func connWith(t testing.TB, m *mem.Architecture, onChip, offChip string) *connect.Arch {
+	t.Helper()
+	lib := connect.Library()
+	on, err := connect.ByName(lib, onChip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := connect.ByName(lib, offChip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chans := m.Channels()
+	a := &connect.Arch{Channels: chans}
+	for i, ch := range chans {
+		a.Clusters = append(a.Clusters, []int{i})
+		if ch.OffChip {
+			a.Assign = append(a.Assign, off)
+		} else {
+			a.Assign = append(a.Assign, on)
+		}
+	}
+	return a
+}
+
+// Full simulation is deterministic: identical runs produce identical
+// results, which is what makes coverage comparison against the Full
+// baseline meaningful.
+func TestSimulationDeterministic(t *testing.T) {
+	tr := compressSlice(t, 50_000)
+	m := singleCacheArch(4096)
+	c := connWith(t, m, "ahb32", "off32")
+	run := func() *sim.Result {
+		s, err := sim.New(m, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := s.Run(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	if !reflect.DeepEqual(run(), run()) {
+		t.Fatal("two identical simulations diverged")
+	}
+}
+
+// The dedicated link is the fastest on-chip component of the library, so
+// for a single-module architecture every other on-chip choice must be at
+// least as slow.
+func TestDedicatedIsFastestOnChip(t *testing.T) {
+	tr := compressSlice(t, 40_000)
+	m := singleCacheArch(4096)
+	base := func(on string) float64 {
+		s, err := sim.New(m, connWith(t, m, on, "off32"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := s.Run(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.AvgLatency()
+	}
+	ded := base("ded32")
+	for _, name := range []string{"mux32", "ahb32", "asb32", "apb32"} {
+		if lat := base(name); lat < ded-1e-9 {
+			t.Fatalf("%s (%.3f) beat the dedicated link (%.3f)", name, lat, ded)
+		}
+	}
+}
+
+// The wide off-chip bus trades energy for latency against the narrow
+// one: the designer-facing crossover the paper's exploration exists to
+// expose.
+func TestOffChipWidthTradeoff(t *testing.T) {
+	tr := compressSlice(t, 40_000)
+	m := singleCacheArch(2048)
+	run := func(off string) *sim.Result {
+		s, err := sim.New(m, connWith(t, m, "mux32", off))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := s.Run(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	narrow, wide := run("off16"), run("off32")
+	if wide.AvgLatency() >= narrow.AvgLatency() {
+		t.Fatalf("wide off-chip bus should be faster: %.2f vs %.2f",
+			wide.AvgLatency(), narrow.AvgLatency())
+	}
+	if wide.AvgEnergy() <= narrow.AvgEnergy() {
+		t.Fatalf("wide off-chip bus should cost more energy: %.2f vs %.2f",
+			wide.AvgEnergy(), narrow.AvgEnergy())
+	}
+}
+
+// Every design the Pruned strategy reports must also exist in the Full
+// space with identical metrics (Pruned explores a subset, never
+// different physics).
+func TestPrunedSubsetOfFull(t *testing.T) {
+	tr := compressSlice(t, 30_000)
+	apexRes, err := apex.Explore(tr, nil, apex.Config{
+		CacheSizes:  []int{2 << 10, 16 << 10},
+		CacheAssocs: []int{2},
+		CacheLines:  []int{32},
+		MaxCustom:   1,
+		SRAMLimit:   80 << 10,
+		MaxSelected: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	space := explore.BuildSpace(apexRes)
+	cfg := core.DefaultConfig()
+	cfg.Sampling = sampling.Config{OnWindow: 500, OffRatio: 9}
+	cfg.MaxAssignPerLevel = 8
+	cfg.KeepPerArch = 4
+	full, err := explore.Run(tr, space, explore.Full, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pruned, err := explore.Run(tr, space, explore.Pruned, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pruned.Points {
+		found := false
+		for _, f := range full.Points {
+			if f.Cost == p.Cost && f.Latency == p.Latency && f.Energy == p.Energy {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("pruned design not present in the full space: %+v", p)
+		}
+	}
+}
+
+// The sampled estimate of a design and its full simulation must agree
+// closely enough that Phase I ranking transfers to Phase II — the
+// paper's fidelity claim, checked end to end on several designs.
+func TestEstimateVsFullFidelityAcrossDesigns(t *testing.T) {
+	tr := compressSlice(t, 60_000)
+	m := singleCacheArch(8192)
+	for _, names := range [][2]string{
+		{"ded32", "off32"}, {"apb32", "off16"}, {"ahb32", "off32"},
+	} {
+		c := connWith(t, m, names[0], names[1])
+		s, err := sim.New(m, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fullRes, err := s.Run(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		est, _, err := sampling.Estimate(tr, m, c, sampling.Config{OnWindow: 2000, OffRatio: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel := est.AvgLatency()/fullRes.AvgLatency() - 1
+		if rel < 0 {
+			rel = -rel
+		}
+		if rel > 0.25 {
+			t.Fatalf("%v: sampled latency off by %.0f%%", names, rel*100)
+		}
+	}
+}
+
+// Cost composition: every ConEx design point's cost is exactly the sum
+// of its memory and connectivity gates.
+func TestCostComposition(t *testing.T) {
+	tr := compressSlice(t, 20_000)
+	arch := singleCacheArch(2048)
+	cfg := core.DefaultConfig()
+	cfg.Sampling = sampling.Config{OnWindow: 500, OffRatio: 9}
+	cfg.MaxAssignPerLevel = 8
+	points, _, _, err := core.ConnectivityExploration(tr, arch, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range points {
+		want := p.MemArch.Gates() + p.Conn.Gates()
+		if p.Cost != want {
+			t.Fatalf("cost %v != mem %v + conn %v", p.Cost, p.MemArch.Gates(), p.Conn.Gates())
+		}
+	}
+}
+
+// Saving a trace and reloading it must not change exploration results.
+func TestTraceCodecPreservesExploration(t *testing.T) {
+	tr := compressSlice(t, 20_000)
+	var err error
+	cfg := apex.Config{
+		CacheSizes:  []int{4 << 10},
+		CacheAssocs: []int{2},
+		CacheLines:  []int{32},
+		MaxCustom:   1,
+		SRAMLimit:   80 << 10,
+		MaxSelected: 3,
+	}
+	direct, err := apex.Explore(tr, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round trip through the binary codec.
+	var buf bytes.Buffer
+	if err := trace.Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := trace.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := apex.Explore(tr2, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(direct.All) != len(reloaded.All) {
+		t.Fatal("design counts differ after codec round trip")
+	}
+	for i := range direct.All {
+		if direct.All[i].MissRatio != reloaded.All[i].MissRatio {
+			t.Fatal("miss ratios differ after codec round trip")
+		}
+	}
+}

@@ -1,0 +1,242 @@
+package mem
+
+import (
+	"fmt"
+	"strings"
+
+	"memorex/internal/trace"
+)
+
+// DirectDRAM is the route value meaning "no on-chip module: the access
+// goes straight to off-chip memory".
+const DirectDRAM = -1
+
+// Architecture is a memory-modules architecture: a set of on-chip module
+// instances, the off-chip DRAM, and the mapping from application data
+// structures to the module that serves them. This is the unit APEX
+// selects and ConEx receives.
+type Architecture struct {
+	Name    string
+	Modules []Module
+	DRAM    *DRAM
+	// L2, when non-nil, is a shared second-level cache: the backed
+	// modules' miss traffic goes through it before crossing the chip
+	// boundary (an extension beyond the paper's single-level systems).
+	L2 *Cache
+	// Route maps a data structure to the index in Modules that serves
+	// it, or DirectDRAM. Data structures not present use Default.
+	Route   map[trace.DSID]int
+	Default int
+}
+
+// RouteOf returns the module index serving ds (DirectDRAM for none).
+func (a *Architecture) RouteOf(ds trace.DSID) int {
+	if r, ok := a.Route[ds]; ok {
+		return r
+	}
+	return a.Default
+}
+
+// Gates returns the total on-chip gate cost of the memory modules.
+func (a *Architecture) Gates() float64 {
+	var g float64
+	for _, m := range a.Modules {
+		g += m.Gates()
+	}
+	if a.L2 != nil {
+		g += a.L2.Gates()
+	}
+	return g
+}
+
+// Validate checks that all routes reference existing modules and that the
+// DRAM is present.
+func (a *Architecture) Validate() error {
+	if a.DRAM == nil {
+		return fmt.Errorf("mem: architecture %q has no DRAM", a.Name)
+	}
+	check := func(r int) error {
+		if r != DirectDRAM && (r < 0 || r >= len(a.Modules)) {
+			return fmt.Errorf("mem: architecture %q routes to missing module %d", a.Name, r)
+		}
+		return nil
+	}
+	if err := check(a.Default); err != nil {
+		return err
+	}
+	for ds, r := range a.Route {
+		if err := check(r); err != nil {
+			return fmt.Errorf("%w (data structure %d)", err, ds)
+		}
+	}
+	for i, m := range a.Modules {
+		if m == nil {
+			return fmt.Errorf("mem: architecture %q has nil module at %d", a.Name, i)
+		}
+		if m.Kind() == KindDRAM {
+			return fmt.Errorf("mem: architecture %q lists DRAM among on-chip modules", a.Name)
+		}
+	}
+	return nil
+}
+
+// Clone returns an independent architecture with cold module state.
+func (a *Architecture) Clone() *Architecture {
+	c := &Architecture{
+		Name:    a.Name,
+		Modules: make([]Module, len(a.Modules)),
+		DRAM:    a.DRAM.Clone().(*DRAM),
+		Route:   make(map[trace.DSID]int, len(a.Route)),
+		Default: a.Default,
+	}
+	if a.L2 != nil {
+		c.L2 = a.L2.Clone().(*Cache)
+	}
+	for i, m := range a.Modules {
+		c.Modules[i] = m.Clone()
+	}
+	for k, v := range a.Route {
+		c.Route[k] = v
+	}
+	return c
+}
+
+// Describe returns a one-line human-readable summary, e.g.
+// "cache8k-2w-32b + sram4096b{htab} + stream4x32b{in}".
+func (a *Architecture) Describe(t *trace.Trace) string {
+	perModule := make([][]string, len(a.Modules))
+	direct := []string{}
+	name := func(ds trace.DSID) string {
+		if t != nil {
+			return t.Info(ds).Name
+		}
+		return fmt.Sprintf("ds%d", ds)
+	}
+	for ds, r := range a.Route {
+		if r == DirectDRAM {
+			direct = append(direct, name(ds))
+		} else {
+			perModule[r] = append(perModule[r], name(ds))
+		}
+	}
+	parts := make([]string, 0, len(a.Modules)+1)
+	for i, m := range a.Modules {
+		s := m.Name()
+		if len(perModule[i]) > 0 {
+			s += "{" + strings.Join(perModule[i], ",") + "}"
+		}
+		parts = append(parts, s)
+	}
+	if a.L2 != nil {
+		parts = append(parts, "l2:"+a.L2.Name())
+	}
+	if len(direct) > 0 {
+		parts = append(parts, "dram{"+strings.Join(direct, ",")+"}")
+	}
+	if len(parts) == 0 {
+		return "dram-only"
+	}
+	return strings.Join(parts, " + ")
+}
+
+// ChannelKind classifies a communication channel of the architecture.
+type ChannelKind int
+
+// Channel kinds.
+const (
+	// ChanCPUModule is an on-chip channel between the CPU and a module.
+	ChanCPUModule ChannelKind = iota
+	// ChanModuleDRAM is a chip-boundary channel between a module and
+	// the off-chip DRAM (line fills, write-backs, prefetches).
+	ChanModuleDRAM
+	// ChanCPUDRAM is a chip-boundary channel for uncached accesses.
+	ChanCPUDRAM
+	// ChanModuleL2 is an on-chip channel between a module and the
+	// shared L2 (present only when Architecture.L2 is set).
+	ChanModuleL2
+	// ChanL2DRAM is the chip-boundary channel behind the shared L2.
+	ChanL2DRAM
+)
+
+// String implements fmt.Stringer.
+func (k ChannelKind) String() string {
+	switch k {
+	case ChanCPUModule:
+		return "cpu-module"
+	case ChanModuleDRAM:
+		return "module-dram"
+	case ChanCPUDRAM:
+		return "cpu-dram"
+	case ChanModuleL2:
+		return "module-l2"
+	case ChanL2DRAM:
+		return "l2-dram"
+	default:
+		return fmt.Sprintf("chan(%d)", int(k))
+	}
+}
+
+// Channel is one communication channel of the architecture: an arc of
+// the paper's Bandwidth Requirement Graph before bandwidth labelling.
+type Channel struct {
+	Kind   ChannelKind
+	Module int // index into Modules (unused for ChanCPUDRAM)
+	// OffChip is true when the channel crosses the chip boundary and
+	// must be implemented by an off-chip-capable component.
+	OffChip bool
+}
+
+// Label returns a readable channel name.
+func (c Channel) Label(a *Architecture) string {
+	switch c.Kind {
+	case ChanCPUModule:
+		return "cpu<->" + a.Modules[c.Module].Name()
+	case ChanModuleDRAM:
+		return a.Modules[c.Module].Name() + "<->dram"
+	case ChanCPUDRAM:
+		return "cpu<->dram"
+	case ChanModuleL2:
+		return a.Modules[c.Module].Name() + "<->l2"
+	case ChanL2DRAM:
+		return "l2<->dram"
+	default:
+		return "?"
+	}
+}
+
+// Channels enumerates the architecture's communication channels in a
+// deterministic order: for each module the CPU link, then for each
+// backed module (cache, stream, DMA) the DRAM link, then the direct
+// CPU-DRAM link if any data structure is routed straight off-chip.
+func (a *Architecture) Channels() []Channel {
+	var chans []Channel
+	for i, m := range a.Modules {
+		_ = m
+		chans = append(chans, Channel{Kind: ChanCPUModule, Module: i})
+	}
+	backed := 0
+	for i, m := range a.Modules {
+		switch m.Kind() {
+		case KindCache, KindStream, KindDMA:
+			backed++
+			if a.L2 != nil {
+				chans = append(chans, Channel{Kind: ChanModuleL2, Module: i})
+			} else {
+				chans = append(chans, Channel{Kind: ChanModuleDRAM, Module: i, OffChip: true})
+			}
+		}
+	}
+	if a.L2 != nil && backed > 0 {
+		chans = append(chans, Channel{Kind: ChanL2DRAM, OffChip: true})
+	}
+	needDirect := a.Default == DirectDRAM
+	for _, r := range a.Route {
+		if r == DirectDRAM {
+			needDirect = true
+		}
+	}
+	if needDirect {
+		chans = append(chans, Channel{Kind: ChanCPUDRAM, OffChip: true})
+	}
+	return chans
+}

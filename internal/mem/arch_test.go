@@ -1,0 +1,157 @@
+package mem
+
+import (
+	"strings"
+	"testing"
+
+	"memorex/internal/trace"
+)
+
+func sampleArch() *Architecture {
+	return &Architecture{
+		Name: "test",
+		Modules: []Module{
+			MustCache(8192, 32, 2),
+			MustSRAM(4096),
+			MustStreamBuffer(32, 4),
+		},
+		DRAM:    DefaultDRAM(),
+		Route:   map[trace.DSID]int{2: 1, 3: 2},
+		Default: 0,
+	}
+}
+
+func TestArchValidate(t *testing.T) {
+	a := sampleArch()
+	if err := a.Validate(); err != nil {
+		t.Fatalf("valid architecture rejected: %v", err)
+	}
+	bad := sampleArch()
+	bad.Route[5] = 9
+	if err := bad.Validate(); err == nil {
+		t.Fatal("route to missing module accepted")
+	}
+	bad2 := sampleArch()
+	bad2.DRAM = nil
+	if err := bad2.Validate(); err == nil {
+		t.Fatal("missing DRAM accepted")
+	}
+	bad3 := sampleArch()
+	bad3.Default = 7
+	if err := bad3.Validate(); err == nil {
+		t.Fatal("bad default route accepted")
+	}
+	bad4 := sampleArch()
+	bad4.Modules = append(bad4.Modules, nil)
+	if err := bad4.Validate(); err == nil {
+		t.Fatal("nil module accepted")
+	}
+}
+
+func TestArchRouteOf(t *testing.T) {
+	a := sampleArch()
+	if a.RouteOf(2) != 1 || a.RouteOf(3) != 2 {
+		t.Fatal("explicit routes wrong")
+	}
+	if a.RouteOf(99) != 0 {
+		t.Fatal("default route wrong")
+	}
+}
+
+func TestArchGatesSum(t *testing.T) {
+	a := sampleArch()
+	var want float64
+	for _, m := range a.Modules {
+		want += m.Gates()
+	}
+	if a.Gates() != want {
+		t.Fatalf("Gates() = %v, want %v", a.Gates(), want)
+	}
+}
+
+func TestArchChannels(t *testing.T) {
+	a := sampleArch()
+	chans := a.Channels()
+	// 3 CPU links + 2 DRAM links (cache, stream; SRAM has none).
+	if len(chans) != 5 {
+		t.Fatalf("want 5 channels, got %d: %+v", len(chans), chans)
+	}
+	var offchip int
+	for _, c := range chans {
+		if c.OffChip {
+			offchip++
+		}
+	}
+	if offchip != 2 {
+		t.Fatalf("want 2 off-chip channels, got %d", offchip)
+	}
+	// Direct-to-DRAM routing adds the CPU-DRAM channel.
+	a.Route[7] = DirectDRAM
+	chans = a.Channels()
+	if len(chans) != 6 || chans[5].Kind != ChanCPUDRAM {
+		t.Fatalf("direct route should add cpu-dram channel: %+v", chans)
+	}
+	// Default DirectDRAM also adds it.
+	b := &Architecture{Name: "uncached", DRAM: DefaultDRAM(), Default: DirectDRAM}
+	if len(b.Channels()) != 1 {
+		t.Fatalf("uncached architecture should have exactly the cpu-dram channel")
+	}
+}
+
+func TestArchCloneIndependence(t *testing.T) {
+	a := sampleArch()
+	a.Modules[0].Access(ld(0), 0)
+	c := a.Clone()
+	if c.Modules[0].(*Cache).Misses != 0 {
+		t.Fatal("clone inherited module state")
+	}
+	c.Route[42] = 0
+	if _, ok := a.Route[42]; ok {
+		t.Fatal("clone shares route map")
+	}
+}
+
+func TestArchDescribe(t *testing.T) {
+	a := sampleArch()
+	b := trace.NewBuilder("x", 0)
+	b.Region("htab", 64, 4) // ds 1
+	b.Region("in", 64, 4)   // ds 2
+	b.Region("out", 64, 4)  // ds 3
+	tr := b.Build()
+	s := a.Describe(tr)
+	if !strings.Contains(s, "sram4096b{in}") {
+		t.Fatalf("Describe missing sram mapping: %q", s)
+	}
+	if !strings.Contains(s, "cache8k-2w-32b") {
+		t.Fatalf("Describe missing cache: %q", s)
+	}
+	a.Route[1] = DirectDRAM
+	if !strings.Contains(a.Describe(tr), "dram{htab}") {
+		t.Fatalf("Describe missing direct mapping: %q", a.Describe(tr))
+	}
+	empty := &Architecture{Name: "none", DRAM: DefaultDRAM(), Default: DirectDRAM}
+	if empty.Describe(tr) != "dram-only" {
+		t.Fatalf("empty Describe = %q", empty.Describe(tr))
+	}
+}
+
+func TestChannelLabels(t *testing.T) {
+	a := sampleArch()
+	a.Route[7] = DirectDRAM
+	for _, c := range a.Channels() {
+		if c.Label(a) == "?" {
+			t.Fatalf("unlabelled channel %+v", c)
+		}
+	}
+	if (Channel{Kind: ChanCPUDRAM}).Label(a) != "cpu<->dram" {
+		t.Fatal("cpu-dram label wrong")
+	}
+}
+
+func TestChannelKindString(t *testing.T) {
+	if ChanCPUModule.String() != "cpu-module" ||
+		ChanModuleDRAM.String() != "module-dram" ||
+		ChanCPUDRAM.String() != "cpu-dram" {
+		t.Fatal("ChannelKind strings wrong")
+	}
+}

@@ -1,0 +1,215 @@
+package mem
+
+import (
+	"fmt"
+
+	"memorex/internal/trace"
+)
+
+// WritePolicy selects how a cache handles stores.
+type WritePolicy int
+
+// Write policies.
+const (
+	// WriteBack allocates on store misses and writes dirty lines back
+	// on eviction (the default, and what the paper's caches model).
+	WriteBack WritePolicy = iota
+	// WriteThrough propagates every store off chip immediately and
+	// does not allocate on store misses. Cheaper control logic, more
+	// off-chip traffic — the classic embedded trade-off.
+	WriteThrough
+)
+
+// String implements fmt.Stringer.
+func (p WritePolicy) String() string {
+	if p == WriteThrough {
+		return "wt"
+	}
+	return "wb"
+}
+
+// Cache is a set-associative cache with true LRU replacement and a
+// configurable write policy (write-back/write-allocate by default).
+type Cache struct {
+	SizeBytes int
+	LineBytes int
+	Assoc     int
+	Policy    WritePolicy
+
+	sets  []cacheSet
+	name  string
+	gates float64
+	nrg   float64
+
+	// Last eviction, for victim-buffer wrappers: the line address of
+	// the most recently displaced valid line, and whether it was dirty.
+	lastEvicted      uint32
+	lastEvictedValid bool
+	lastEvictedDirty bool
+
+	// Stats accumulated since the last Reset.
+	Hits, Misses, WriteBacks int64
+}
+
+type cacheLine struct {
+	tag   uint32
+	valid bool
+	dirty bool
+}
+
+type cacheSet struct {
+	// lines[0] is MRU, lines[len-1] is LRU.
+	lines []cacheLine
+}
+
+// NewCache builds a cache. Size, line and associativity must be powers of
+// two with size >= line*assoc.
+func NewCache(size, line, assoc int) (*Cache, error) {
+	if size <= 0 || line <= 0 || assoc <= 0 {
+		return nil, fmt.Errorf("mem: cache parameters must be positive (size=%d line=%d assoc=%d)", size, line, assoc)
+	}
+	if !pow2(size) || !pow2(line) || !pow2(assoc) {
+		return nil, fmt.Errorf("mem: cache parameters must be powers of two (size=%d line=%d assoc=%d)", size, line, assoc)
+	}
+	if size < line*assoc {
+		return nil, fmt.Errorf("mem: cache size %d smaller than line*assoc=%d", size, line*assoc)
+	}
+	c := &Cache{
+		SizeBytes: size,
+		LineBytes: line,
+		Assoc:     assoc,
+		name:      fmt.Sprintf("cache%dk-%dw-%db", size/1024, assoc, line),
+		gates:     cacheGates(size, line, assoc),
+		nrg:       cacheEnergy(size, line, assoc),
+	}
+	if size < 1024 {
+		c.name = fmt.Sprintf("cache%db-%dw-%db", size, assoc, line)
+	}
+	c.Reset()
+	return c, nil
+}
+
+// MustCache is NewCache that panics on invalid parameters; for use with
+// constant, known-good configurations.
+func MustCache(size, line, assoc int) *Cache {
+	c, err := NewCache(size, line, assoc)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// NewWriteThroughCache builds a write-through, no-write-allocate cache.
+func NewWriteThroughCache(size, line, assoc int) (*Cache, error) {
+	c, err := NewCache(size, line, assoc)
+	if err != nil {
+		return nil, err
+	}
+	c.Policy = WriteThrough
+	c.name += "-wt"
+	// No dirty bits or write-back datapath: slightly cheaper control.
+	c.gates -= 600
+	return c, nil
+}
+
+// MustWriteThroughCache is NewWriteThroughCache that panics on invalid
+// parameters.
+func MustWriteThroughCache(size, line, assoc int) *Cache {
+	c, err := NewWriteThroughCache(size, line, assoc)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Name implements Module.
+func (c *Cache) Name() string { return c.name }
+
+// Kind implements Module.
+func (c *Cache) Kind() Kind { return KindCache }
+
+// Gates implements Module.
+func (c *Cache) Gates() float64 { return c.gates }
+
+// Energy implements Module.
+func (c *Cache) Energy() float64 { return c.nrg }
+
+// Latency implements Module. One cycle to hit; larger caches take two.
+func (c *Cache) Latency() int {
+	if c.SizeBytes > 16*1024 {
+		return 2
+	}
+	return 1
+}
+
+// SetFetchLatency implements Module (caches don't prefetch).
+func (c *Cache) SetFetchLatency(int) {}
+
+// Reset implements Module.
+func (c *Cache) Reset() {
+	nSets := c.SizeBytes / (c.LineBytes * c.Assoc)
+	c.sets = make([]cacheSet, nSets)
+	for i := range c.sets {
+		c.sets[i].lines = make([]cacheLine, c.Assoc)
+	}
+	c.Hits, c.Misses, c.WriteBacks = 0, 0, 0
+}
+
+// Clone implements Module.
+func (c *Cache) Clone() Module {
+	if c.Policy == WriteThrough {
+		return MustWriteThroughCache(c.SizeBytes, c.LineBytes, c.Assoc)
+	}
+	return MustCache(c.SizeBytes, c.LineBytes, c.Assoc)
+}
+
+// Access implements Module.
+func (c *Cache) Access(a trace.Access, _ int64) AccessResult {
+	nSets := len(c.sets)
+	lineAddr := a.Addr / uint32(c.LineBytes)
+	set := &c.sets[lineAddr%uint32(nSets)]
+	tag := lineAddr / uint32(nSets)
+
+	for i := range set.lines {
+		if set.lines[i].valid && set.lines[i].tag == tag {
+			// Hit: move to MRU.
+			hitLine := set.lines[i]
+			copy(set.lines[1:i+1], set.lines[:i])
+			set.lines[0] = hitLine
+			if a.Kind == trace.Store {
+				if c.Policy == WriteThrough {
+					// The store is counted as a hit (no stall in our
+					// posted-write model) but its bytes go off chip.
+					c.Hits++
+					return AccessResult{Hit: true, OffChipBytes: int(a.Size)}
+				}
+				set.lines[0].dirty = true
+			}
+			c.Hits++
+			return AccessResult{Hit: true}
+		}
+	}
+	if c.Policy == WriteThrough && a.Kind == trace.Store {
+		// No write allocation: the store goes straight off chip.
+		c.Misses++
+		return AccessResult{Hit: false, OffChipBytes: int(a.Size)}
+	}
+	// Miss: evict LRU, fill, insert at MRU.
+	c.Misses++
+	victim := set.lines[len(set.lines)-1]
+	wb := 0
+	c.lastEvictedValid = victim.valid
+	if victim.valid {
+		c.lastEvicted = victim.tag*uint32(nSets) + lineAddr%uint32(nSets)
+		c.lastEvictedDirty = victim.dirty
+		if victim.dirty {
+			wb = c.LineBytes
+			c.WriteBacks++
+		}
+	}
+	copy(set.lines[1:], set.lines[:len(set.lines)-1])
+	set.lines[0] = cacheLine{tag: tag, valid: true, dirty: a.Kind == trace.Store}
+	return AccessResult{Hit: false, OffChipBytes: c.LineBytes + wb}
+}
+
+func pow2(v int) bool { return v > 0 && v&(v-1) == 0 }

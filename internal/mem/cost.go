@@ -1,0 +1,105 @@
+package mem
+
+import "math"
+
+// Analytic area and energy models.
+//
+// The paper takes its memory-module area and power models from Catthoor
+// et al., "Custom Memory Management Methodology" (and its connectivity
+// wire-area models from Chen et al. and Deng/Maly). Those exact tables
+// are not available, so we use the standard closed-form approximations
+// (CACTI-style) with coefficients calibrated so that absolute magnitudes
+// land in the ranges Table 1 of the paper reports: a conventional 32 KiB
+// cache system around 4.8e5 gate equivalents and system energies of a
+// few nJ to ~15 nJ per access. Only the relative ordering of design
+// points matters for the exploration; these models preserve it because
+// area grows linearly in capacity and energy grows with capacity,
+// associativity, and off-chip traffic.
+
+const (
+	// gatesPerBit is the gate-equivalent area of one on-chip SRAM bit,
+	// including its share of the array periphery.
+	gatesPerBit = 1.7
+	// gatesPerTagBit is slightly higher: tag bits pay for comparators.
+	gatesPerTagBit = 2.0
+	// addressBits is the width of the synthetic address space.
+	addressBits = 32
+)
+
+// sramGates returns the gate cost of a plain SRAM array of the given
+// capacity in bytes.
+func sramGates(bytes int) float64 {
+	if bytes <= 0 {
+		return 0
+	}
+	// Array + decoder (grows with log of the number of rows) + sense amps.
+	rows := float64(bytes) / 16
+	decoder := 60 * math.Log2(rows+2)
+	return float64(bytes*8)*gatesPerBit + decoder + 800
+}
+
+// sramEnergy returns nJ per access of an SRAM array of the given capacity.
+func sramEnergy(bytes int) float64 {
+	if bytes <= 0 {
+		return 0
+	}
+	// Bit-line energy grows roughly with sqrt of capacity.
+	return 0.08 + 0.015*math.Sqrt(float64(bytes)/1024)
+}
+
+// cacheGates returns the gate cost of a set-associative cache.
+func cacheGates(size, line, assoc int) float64 {
+	if size <= 0 || line <= 0 || assoc <= 0 {
+		return 0
+	}
+	sets := size / (line * assoc)
+	if sets < 1 {
+		sets = 1
+	}
+	offsetBits := log2i(line)
+	indexBits := log2i(sets)
+	tagBits := addressBits - offsetBits - indexBits
+	dataGates := float64(size*8) * gatesPerBit
+	tagGates := float64(sets*assoc*(tagBits+2)) * gatesPerTagBit // +valid +dirty
+	comparators := float64(assoc*tagBits) * 6
+	lru := float64(sets*assoc*log2i(assoc)) * 2
+	control := 4200.0
+	return dataGates + tagGates + comparators + lru + control
+}
+
+// cacheEnergy returns nJ per access of a set-associative cache: all ways
+// of a set are read in parallel, so energy scales with associativity.
+func cacheEnergy(size, line, assoc int) float64 {
+	if size <= 0 {
+		return 0
+	}
+	return 0.10 + 0.02*float64(assoc) + 0.02*math.Sqrt(float64(size)/1024)
+}
+
+// streamGates returns the gate cost of a stream buffer with the given
+// number of lines of the given size.
+func streamGates(lines, lineBytes int) float64 {
+	buf := sramGates(lines * lineBytes)
+	engine := 2600.0 // address generator, stride detector, FIFO control
+	return buf + engine
+}
+
+// dmaGates returns the gate cost of a self-indirect (linked-list) DMA
+// module with an internal buffer of the given size.
+func dmaGates(bufBytes int) float64 {
+	return sramGates(bufBytes) + 5200 // pointer-walk engine is bigger
+}
+
+// dramEnergy is the energy in nJ of transferring one off-chip burst
+// (per access, not per byte; per-byte costs are on the connectivity).
+const dramEnergy = 48.0
+
+// log2i returns floor(log2(v)) for v >= 1, else 0.
+func log2i(v int) int {
+	n := 0
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}

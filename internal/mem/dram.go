@@ -1,0 +1,121 @@
+package mem
+
+import (
+	"fmt"
+
+	"memorex/internal/trace"
+)
+
+// RowPolicy selects the DRAM controller's page policy.
+type RowPolicy int
+
+// DRAM row policies.
+const (
+	// OpenRow leaves the accessed row open: subsequent same-row
+	// accesses pay CAS only, row conflicts pay the full row cycle.
+	OpenRow RowPolicy = iota
+	// ClosedRow precharges after every access: every access pays a
+	// fixed activate+CAS latency between the hit and miss extremes.
+	// Predictable, and better for low-locality traffic.
+	ClosedRow
+)
+
+// DRAM models the off-chip main memory with a banked row-buffer:
+// accesses that hit the open row of their bank pay CAS latency only,
+// others pay the full row cycle (policy-dependent, see RowPolicy).
+// DRAM is off-chip, so it contributes no on-chip gates; its (large)
+// per-burst energy is what makes misses expensive in the energy
+// dimension.
+type DRAM struct {
+	RowHitCycles  int
+	RowMissCycles int
+	RowBytes      int
+	Banks         int
+	Policy        RowPolicy
+
+	openRows []int64
+
+	RowHits, RowMisses int64
+}
+
+// NewDRAM builds a DRAM with the given timing. Typical embedded SDRAM of
+// the paper's era: row hit ~8 CPU cycles, row miss ~20.
+func NewDRAM(rowHit, rowMiss, rowBytes, banks int) (*DRAM, error) {
+	if rowHit <= 0 || rowMiss < rowHit || rowBytes <= 0 || banks <= 0 {
+		return nil, fmt.Errorf("mem: bad DRAM timing (%d, %d, %d, %d)", rowHit, rowMiss, rowBytes, banks)
+	}
+	d := &DRAM{RowHitCycles: rowHit, RowMissCycles: rowMiss, RowBytes: rowBytes, Banks: banks}
+	d.Reset()
+	return d, nil
+}
+
+// DefaultDRAM returns the DRAM used throughout the experiments.
+func DefaultDRAM() *DRAM {
+	d, err := NewDRAM(8, 20, 2048, 4)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Name implements Module.
+func (d *DRAM) Name() string { return "dram" }
+
+// Kind implements Module.
+func (d *DRAM) Kind() Kind { return KindDRAM }
+
+// Gates implements Module: off-chip, no on-chip gate cost.
+func (d *DRAM) Gates() float64 { return 0 }
+
+// Energy implements Module: nJ per burst.
+func (d *DRAM) Energy() float64 { return dramEnergy }
+
+// Latency implements Module: the average case is reported; use
+// AccessLatency for the row-aware value.
+func (d *DRAM) Latency() int { return (d.RowHitCycles + d.RowMissCycles) / 2 }
+
+// SetFetchLatency implements Module.
+func (d *DRAM) SetFetchLatency(int) {}
+
+// Reset implements Module.
+func (d *DRAM) Reset() {
+	d.openRows = make([]int64, d.Banks)
+	for i := range d.openRows {
+		d.openRows[i] = -1
+	}
+	d.RowHits, d.RowMisses = 0, 0
+}
+
+// Clone implements Module.
+func (d *DRAM) Clone() Module {
+	c, err := NewDRAM(d.RowHitCycles, d.RowMissCycles, d.RowBytes, d.Banks)
+	if err != nil {
+		panic(err)
+	}
+	c.Policy = d.Policy
+	return c
+}
+
+// Access implements Module. DRAM always "hits" (it is the backing store);
+// Stall carries the access latency.
+func (d *DRAM) Access(a trace.Access, _ int64) AccessResult {
+	return AccessResult{Hit: true, Stall: d.AccessLatency(a.Addr)}
+}
+
+// AccessLatency returns the row-aware latency of a burst at addr and
+// updates the open-row state.
+func (d *DRAM) AccessLatency(addr uint32) int {
+	if d.Policy == ClosedRow {
+		// Activate + CAS every time; no row state to track.
+		return (d.RowHitCycles + d.RowMissCycles) / 2
+	}
+	row := int64(addr) / int64(d.RowBytes)
+	bank := int(row) % d.Banks
+	if d.openRows[bank] == row {
+		d.RowHits++
+		return d.RowHitCycles
+	}
+	d.openRows[bank] = row
+	d.RowMisses++
+	return d.RowMissCycles
+}

@@ -1,0 +1,212 @@
+package mem
+
+import (
+	"testing"
+)
+
+func TestSRAMAlwaysHits(t *testing.T) {
+	s := MustSRAM(4096)
+	for i := uint32(0); i < 100; i++ {
+		if r := s.Access(ld(i*64), int64(i)); !r.Hit || r.OffChipBytes != 0 {
+			t.Fatalf("SRAM access %d should hit with no off-chip traffic: %+v", i, r)
+		}
+	}
+	if s.Accesses != 100 {
+		t.Fatalf("access counter = %d, want 100", s.Accesses)
+	}
+	if _, err := NewSRAM(0); err == nil {
+		t.Fatal("NewSRAM(0) should fail")
+	}
+	if s.Kind() != KindSRAM || s.Latency() != 1 || s.Gates() <= 0 {
+		t.Fatal("SRAM metadata wrong")
+	}
+}
+
+func TestStreamBufferSequentialHits(t *testing.T) {
+	s := MustStreamBuffer(32, 4)
+	s.SetFetchLatency(10)
+	// First touch is a restart miss.
+	r := s.Access(ld(0), 0)
+	if r.Hit {
+		t.Fatal("cold stream access should miss")
+	}
+	if r.PrefetchBytes != 3*32 {
+		t.Fatalf("restart should prefetch depth-1 lines = 96 bytes, got %d", r.PrefetchBytes)
+	}
+	// Sequential walk with a large gap between accesses: all hits, no
+	// stall once the prefetches have landed.
+	now := int64(1000)
+	for i := 1; i < 20; i++ {
+		r := s.Access(ld(uint32(i*32)), now)
+		if !r.Hit {
+			t.Fatalf("sequential access %d should hit", i)
+		}
+		if r.Stall != 0 {
+			t.Fatalf("access %d stalled %d cycles despite long gap", i, r.Stall)
+		}
+		now += 100
+	}
+}
+
+func TestStreamBufferStallsWhenTooFast(t *testing.T) {
+	s := MustStreamBuffer(32, 2)
+	s.SetFetchLatency(50)
+	s.Access(ld(0), 0)
+	// Immediately ask for the next line: its prefetch was issued at 0
+	// with latency 50, so at cycle 1 we stall ~49 cycles.
+	r := s.Access(ld(32), 1)
+	if !r.Hit {
+		t.Fatal("next-line access should be an in-window hit")
+	}
+	if r.Stall < 40 {
+		t.Fatalf("expected a large stall waiting for prefetch, got %d", r.Stall)
+	}
+}
+
+func TestStreamBufferRestartOnJump(t *testing.T) {
+	s := MustStreamBuffer(32, 4)
+	s.Access(ld(0), 0)
+	r := s.Access(ld(0x10000), 10)
+	if r.Hit {
+		t.Fatal("far jump must restart the stream (miss)")
+	}
+	if s.Restarts != 2 {
+		t.Fatalf("Restarts = %d, want 2", s.Restarts)
+	}
+}
+
+func TestStreamBufferValidation(t *testing.T) {
+	if _, err := NewStreamBuffer(0, 4); err == nil {
+		t.Fatal("line 0 accepted")
+	}
+	if _, err := NewStreamBuffer(24, 4); err == nil {
+		t.Fatal("non-power-of-two line accepted")
+	}
+	if _, err := NewStreamBuffer(32, 0); err == nil {
+		t.Fatal("depth 0 accepted")
+	}
+}
+
+func TestDMAFollowsChain(t *testing.T) {
+	d := MustSelfIndirectDMA(256, 8, 1.0)
+	d.SetFetchLatency(20)
+	// Cold miss.
+	if r := d.Access(ld(0), 0); r.Hit {
+		t.Fatal("cold DMA access should miss")
+	}
+	// Slow chain walk: every subsequent access hits without stall.
+	now := int64(100)
+	for i := 1; i < 10; i++ {
+		r := d.Access(ld(uint32(i*8)), now)
+		if !r.Hit || r.Stall != 0 {
+			t.Fatalf("access %d: want free hit, got %+v", i, r)
+		}
+		now += 50
+	}
+	// Fast chain walk: hits but with stalls.
+	r := d.Access(ld(0x50), now)
+	_ = r
+	r = d.Access(ld(0x58), now+2)
+	if !r.Hit || r.Stall == 0 {
+		t.Fatalf("fast walk should stall on prefetch, got %+v", r)
+	}
+}
+
+func TestDMAPredictability(t *testing.T) {
+	d := MustSelfIndirectDMA(256, 8, 0.5)
+	d.SetFetchLatency(1)
+	var hits int
+	for i := 0; i < 1001; i++ {
+		if r := d.Access(ld(uint32(i*8%256)), int64(i*100)); r.Hit {
+			hits++
+		}
+	}
+	// Deterministic credit accounting: 50% +- rounding.
+	if hits < 480 || hits > 520 {
+		t.Fatalf("with predictability 0.5, want ~500/1000 hits, got %d", hits)
+	}
+	if _, err := NewSelfIndirectDMA(256, 8, 1.5); err == nil {
+		t.Fatal("predictability > 1 accepted")
+	}
+	if _, err := NewSelfIndirectDMA(0, 8, 0.5); err == nil {
+		t.Fatal("zero buffer accepted")
+	}
+}
+
+func TestDRAMRowBuffer(t *testing.T) {
+	d := DefaultDRAM()
+	l1 := d.AccessLatency(0)
+	if l1 != d.RowMissCycles {
+		t.Fatalf("first access should be a row miss (%d), got %d", d.RowMissCycles, l1)
+	}
+	l2 := d.AccessLatency(64)
+	if l2 != d.RowHitCycles {
+		t.Fatalf("same-row access should row-hit (%d), got %d", d.RowHitCycles, l2)
+	}
+	l3 := d.AccessLatency(uint32(d.RowBytes * d.Banks))
+	if l3 != d.RowMissCycles {
+		t.Fatalf("same-bank different-row should row-miss, got %d", l3)
+	}
+	if d.RowHits != 1 || d.RowMisses != 2 {
+		t.Fatalf("stats wrong: %d hits %d misses", d.RowHits, d.RowMisses)
+	}
+	if _, err := NewDRAM(10, 5, 1024, 4); err == nil {
+		t.Fatal("rowMiss < rowHit accepted")
+	}
+	if d.Gates() != 0 {
+		t.Fatal("off-chip DRAM must not contribute on-chip gates")
+	}
+}
+
+func TestModuleClonesAreCold(t *testing.T) {
+	mods := []Module{
+		MustCache(1024, 32, 2),
+		MustSRAM(2048),
+		MustStreamBuffer(32, 4),
+		MustSelfIndirectDMA(128, 8, 0.9),
+	}
+	for _, m := range mods {
+		m.Access(ld(0), 0)
+		c := m.Clone()
+		if c.Name() != m.Name() || c.Kind() != m.Kind() || c.Gates() != m.Gates() {
+			t.Fatalf("%s: clone metadata mismatch", m.Name())
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		KindCache: "cache", KindSRAM: "sram", KindStream: "stream",
+		KindDMA: "lldma", KindDRAM: "dram",
+	} {
+		if k.String() != want {
+			t.Fatalf("Kind(%d).String() = %q, want %q", k, k, want)
+		}
+	}
+}
+
+func TestDRAMClosedRowPolicy(t *testing.T) {
+	d := DefaultDRAM()
+	d.Policy = ClosedRow
+	want := (d.RowHitCycles + d.RowMissCycles) / 2
+	for i := uint32(0); i < 10; i++ {
+		if got := d.AccessLatency(i * 64); got != want {
+			t.Fatalf("closed-row latency = %d, want constant %d", got, want)
+		}
+	}
+	c := d.Clone().(*DRAM)
+	if c.Policy != ClosedRow {
+		t.Fatal("clone lost row policy")
+	}
+	// Open-row beats closed-row on sequential traffic, loses on
+	// bank-conflict ping-pong.
+	open := DefaultDRAM()
+	var openSeq, closedSeq int
+	for i := uint32(0); i < 32; i++ {
+		openSeq += open.AccessLatency(i * 64)
+		closedSeq += d.AccessLatency(i * 64)
+	}
+	if openSeq >= closedSeq {
+		t.Fatalf("open row should win sequential traffic: %d vs %d", openSeq, closedSeq)
+	}
+}

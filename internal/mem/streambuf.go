@@ -1,0 +1,146 @@
+package mem
+
+import (
+	"fmt"
+
+	"memorex/internal/trace"
+)
+
+// StreamBuffer is a prefetching FIFO for stream (sequential) accesses, as
+// in Jouppi-style stream buffers: it holds Depth lines ahead of the
+// current read point and refills in the background. Accesses that fall in
+// the buffered window hit (possibly stalling until the in-flight fetch
+// lands); accesses outside the window restart the stream.
+type StreamBuffer struct {
+	LineBytes int
+	Depth     int
+
+	fetchLat int // off-chip fetch latency set by the architecture
+	name     string
+	gates    float64
+	nrg      float64
+
+	lines []streamLine
+
+	Hits, Misses, Restarts int64
+}
+
+type streamLine struct {
+	lineAddr uint32
+	readyAt  int64
+	valid    bool
+}
+
+// NewStreamBuffer builds a stream buffer of depth lines.
+func NewStreamBuffer(lineBytes, depth int) (*StreamBuffer, error) {
+	if lineBytes <= 0 || !pow2(lineBytes) {
+		return nil, fmt.Errorf("mem: stream buffer line must be a positive power of two, got %d", lineBytes)
+	}
+	if depth <= 0 {
+		return nil, fmt.Errorf("mem: stream buffer depth must be positive, got %d", depth)
+	}
+	s := &StreamBuffer{
+		LineBytes: lineBytes,
+		Depth:     depth,
+		fetchLat:  20,
+		name:      fmt.Sprintf("stream%dx%db", depth, lineBytes),
+		gates:     streamGates(depth, lineBytes),
+		nrg:       sramEnergy(depth*lineBytes) + 0.02,
+	}
+	s.Reset()
+	return s, nil
+}
+
+// MustStreamBuffer is NewStreamBuffer that panics on invalid parameters.
+func MustStreamBuffer(lineBytes, depth int) *StreamBuffer {
+	s, err := NewStreamBuffer(lineBytes, depth)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Name implements Module.
+func (s *StreamBuffer) Name() string { return s.name }
+
+// Kind implements Module.
+func (s *StreamBuffer) Kind() Kind { return KindStream }
+
+// Gates implements Module.
+func (s *StreamBuffer) Gates() float64 { return s.gates }
+
+// Energy implements Module.
+func (s *StreamBuffer) Energy() float64 { return s.nrg }
+
+// Latency implements Module.
+func (s *StreamBuffer) Latency() int { return 1 }
+
+// SetFetchLatency implements Module.
+func (s *StreamBuffer) SetFetchLatency(cycles int) {
+	if cycles > 0 {
+		s.fetchLat = cycles
+	}
+}
+
+// Reset implements Module.
+func (s *StreamBuffer) Reset() {
+	s.lines = make([]streamLine, 0, s.Depth)
+	s.Hits, s.Misses, s.Restarts = 0, 0, 0
+}
+
+// Clone implements Module.
+func (s *StreamBuffer) Clone() Module {
+	c := MustStreamBuffer(s.LineBytes, s.Depth)
+	c.fetchLat = s.fetchLat
+	return c
+}
+
+// Access implements Module.
+func (s *StreamBuffer) Access(a trace.Access, now int64) AccessResult {
+	lineAddr := a.Addr / uint32(s.LineBytes)
+	for i := range s.lines {
+		if s.lines[i].valid && s.lines[i].lineAddr == lineAddr {
+			// In-window hit; stall until the fetch has landed.
+			stall := 0
+			if s.lines[i].readyAt > now {
+				stall = int(s.lines[i].readyAt - now)
+			}
+			// Consume lines before the hit, then top up the FIFO ahead
+			// of the new read point.
+			s.lines = append(s.lines[:0], s.lines[i:]...)
+			pf := s.topUp(now + int64(stall))
+			s.Hits++
+			return AccessResult{Hit: true, Stall: stall, PrefetchBytes: pf}
+		}
+	}
+	// Out of window: restart the stream at this address.
+	s.Misses++
+	s.Restarts++
+	s.lines = s.lines[:0]
+	s.lines = append(s.lines, streamLine{lineAddr: lineAddr, readyAt: now, valid: true})
+	pf := s.topUp(now)
+	return AccessResult{Hit: false, OffChipBytes: s.LineBytes, PrefetchBytes: pf}
+}
+
+// topUp issues background prefetches until Depth lines are buffered,
+// returning the number of prefetched bytes.
+func (s *StreamBuffer) topUp(now int64) int {
+	bytes := 0
+	for len(s.lines) < s.Depth {
+		last := s.lines[len(s.lines)-1]
+		s.lines = append(s.lines, streamLine{
+			lineAddr: last.lineAddr + 1,
+			readyAt:  maxI64(now, last.readyAt) + int64(s.fetchLat),
+			valid:    true,
+		})
+		bytes += s.LineBytes
+	}
+	return bytes
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

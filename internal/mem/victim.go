@@ -1,0 +1,130 @@
+package mem
+
+import (
+	"fmt"
+
+	"memorex/internal/trace"
+)
+
+// VictimCache is a small fully associative buffer behind a primary cache
+// that holds recently evicted lines (Jouppi, ISCA 1990) — one of the
+// era-typical memory IP modules and a natural extension point of the
+// paper's library. A miss in the primary cache that hits the victim
+// buffer swaps lines instead of going off chip.
+type VictimCache struct {
+	*Cache
+	VictimLines int
+
+	victims []victimLine
+	vname   string
+	vgates  float64
+
+	VictimHits int64
+}
+
+type victimLine struct {
+	lineAddr uint32
+	dirty    bool
+	valid    bool
+}
+
+// NewVictimCache wraps a set-associative cache with a victim buffer of
+// the given number of lines.
+func NewVictimCache(size, line, assoc, victimLines int) (*VictimCache, error) {
+	if victimLines <= 0 || victimLines > 64 {
+		return nil, fmt.Errorf("mem: victim buffer must have 1..64 lines, got %d", victimLines)
+	}
+	c, err := NewCache(size, line, assoc)
+	if err != nil {
+		return nil, err
+	}
+	v := &VictimCache{Cache: c, VictimLines: victimLines}
+	v.vname = fmt.Sprintf("%s+v%d", c.Name(), victimLines)
+	// Victim storage is fully associative: data + full-address tags and
+	// comparators on every line.
+	v.vgates = c.Gates() + float64(victimLines*line*8)*gatesPerBit +
+		float64(victimLines*addressBits)*(gatesPerTagBit+6) + 900
+	v.Reset()
+	return v, nil
+}
+
+// MustVictimCache is NewVictimCache that panics on invalid parameters.
+func MustVictimCache(size, line, assoc, victimLines int) *VictimCache {
+	v, err := NewVictimCache(size, line, assoc, victimLines)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// Name implements Module.
+func (v *VictimCache) Name() string { return v.vname }
+
+// Gates implements Module.
+func (v *VictimCache) Gates() float64 { return v.vgates }
+
+// Energy implements Module: the victim probe adds a small overhead.
+func (v *VictimCache) Energy() float64 { return v.Cache.Energy() + 0.03 }
+
+// Reset implements Module.
+func (v *VictimCache) Reset() {
+	v.Cache.Reset()
+	v.victims = make([]victimLine, v.VictimLines)
+	v.VictimHits = 0
+}
+
+// Clone implements Module.
+func (v *VictimCache) Clone() Module {
+	return MustVictimCache(v.SizeBytes, v.LineBytes, v.Assoc, v.VictimLines)
+}
+
+// Access implements Module.
+func (v *VictimCache) Access(a trace.Access, now int64) AccessResult {
+	r := v.Cache.Access(a, now)
+	if r.Hit {
+		return r
+	}
+	// Primary miss. The primary has installed the new line and recorded
+	// which valid line it displaced (lastEvicted*). Probe the victim
+	// buffer for the requested line.
+	lineAddr := a.Addr / uint32(v.LineBytes)
+	for i := range v.victims {
+		if v.victims[i].valid && v.victims[i].lineAddr == lineAddr {
+			// Victim hit: the line comes from the buffer, not from
+			// DRAM, and the primary's evicted line takes the freed slot
+			// (a swap), so nothing goes off chip.
+			v.victims[i] = victimLine{}
+			if v.lastEvictedValid {
+				v.insertVictim(v.lastEvicted, v.lastEvictedDirty)
+				if v.lastEvictedDirty {
+					v.Cache.WriteBacks-- // absorbed by the swap
+				}
+			}
+			v.VictimHits++
+			v.Cache.Misses--
+			v.Cache.Hits++
+			return AccessResult{Hit: true, Stall: 1}
+		}
+	}
+	// Victim miss: the fill comes from DRAM; the primary's evicted line
+	// moves into the buffer, and whatever FIFO-falls out of the buffer
+	// is written back off chip if dirty.
+	off := v.LineBytes
+	if v.lastEvictedValid {
+		displaced := v.insertVictim(v.lastEvicted, v.lastEvictedDirty)
+		if displaced.valid && displaced.dirty {
+			off += v.LineBytes
+		}
+	}
+	r.OffChipBytes = off
+	return r
+}
+
+// insertVictim inserts a line into the buffer in FIFO order and returns
+// the line that fell out.
+func (v *VictimCache) insertVictim(lineAddr uint32, dirty bool) victimLine {
+	displaced := v.victims[len(v.victims)-1]
+	copy(v.victims[1:], v.victims[:len(v.victims)-1])
+	v.victims[0] = victimLine{lineAddr: lineAddr, dirty: dirty, valid: true}
+	return displaced
+}

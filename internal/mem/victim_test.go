@@ -1,0 +1,145 @@
+package mem
+
+import (
+	"testing"
+
+	"memorex/internal/workload"
+)
+
+func TestVictimCacheValidation(t *testing.T) {
+	if _, err := NewVictimCache(1024, 32, 1, 0); err == nil {
+		t.Fatal("0 victim lines accepted")
+	}
+	if _, err := NewVictimCache(1024, 32, 1, 100); err == nil {
+		t.Fatal("100 victim lines accepted")
+	}
+	if _, err := NewVictimCache(1000, 32, 1, 4); err == nil {
+		t.Fatal("invalid base cache accepted")
+	}
+	v := MustVictimCache(1024, 32, 1, 4)
+	if v.Kind() != KindCache {
+		t.Fatal("victim cache should report cache kind")
+	}
+	if v.Gates() <= MustCache(1024, 32, 1).Gates() {
+		t.Fatal("victim buffer must add gates")
+	}
+	if v.Energy() <= MustCache(1024, 32, 1).Energy() {
+		t.Fatal("victim probe must add energy")
+	}
+	if v.Name() != "cache1k-1w-32b+v4" {
+		t.Fatalf("name = %q", v.Name())
+	}
+}
+
+func TestVictimCacheConflictMissesAbsorbed(t *testing.T) {
+	// Direct-mapped 2-set cache: lines 0x000 and 0x100 conflict in set
+	// 0. Ping-ponging between them thrashes a plain cache but hits the
+	// victim buffer every time after warmup.
+	plain := MustCache(64, 32, 1)
+	vc := MustVictimCache(64, 32, 1, 4)
+	var plainMiss, vcMiss int
+	for i := 0; i < 100; i++ {
+		addr := uint32(i%2) * 0x100
+		if !plain.Access(ld(addr), int64(i)).Hit {
+			plainMiss++
+		}
+		if !vc.Access(ld(addr), int64(i)).Hit {
+			vcMiss++
+		}
+	}
+	if plainMiss != 100 {
+		t.Fatalf("plain cache should thrash (100 misses), got %d", plainMiss)
+	}
+	if vcMiss > 3 {
+		t.Fatalf("victim cache should absorb the ping-pong, got %d misses", vcMiss)
+	}
+	if vc.VictimHits < 90 {
+		t.Fatalf("victim hits = %d, want ~98", vc.VictimHits)
+	}
+}
+
+func TestVictimCacheSwapAbsorbsWriteback(t *testing.T) {
+	vc := MustVictimCache(64, 32, 1, 4)
+	vc.Access(st(0x000), 0) // dirty line in set 0
+	r := vc.Access(ld(0x100), 1)
+	// Conflict evicts the dirty line into the victim buffer: only the
+	// fill goes off chip.
+	if r.OffChipBytes != 32 {
+		t.Fatalf("eviction into victim buffer should cost only the fill, got %d", r.OffChipBytes)
+	}
+	// Coming back to 0x000 is a victim hit: no off-chip traffic at all.
+	r = vc.Access(ld(0x000), 2)
+	if !r.Hit || r.OffChipBytes != 0 {
+		t.Fatalf("return access should swap from the victim buffer: %+v", r)
+	}
+}
+
+func TestVictimCacheOverflowWritesBack(t *testing.T) {
+	// 1-line victim buffer: dirty evictions beyond its capacity must
+	// eventually pay off-chip write-backs.
+	vc := MustVictimCache(64, 32, 1, 1)
+	// Dirty three conflicting lines in set 0 in sequence.
+	vc.Access(st(0x000), 0)
+	vc.Access(st(0x100), 1) // evicts dirty 0x000 into buffer
+	r := vc.Access(st(0x200), 2)
+	// Evicts dirty 0x100 into the buffer, displacing dirty 0x000,
+	// which must be written back: fill + wb.
+	if r.OffChipBytes != 64 {
+		t.Fatalf("overflowing dirty victim should write back: got %d bytes", r.OffChipBytes)
+	}
+}
+
+func TestVictimCacheStatsConsistent(t *testing.T) {
+	vc := MustVictimCache(512, 32, 1, 4)
+	tr := workload.Synthetic(workload.SynRandom, 20_000, 4096, 3)
+	var hits, misses int64
+	for i, a := range tr.Accesses {
+		if vc.Access(a, int64(i)).Hit {
+			hits++
+		} else {
+			misses++
+		}
+	}
+	if vc.Hits != hits || vc.Misses != misses {
+		t.Fatalf("stats drifted: module %d/%d vs observed %d/%d",
+			vc.Hits, vc.Misses, hits, misses)
+	}
+	if vc.VictimHits == 0 {
+		t.Fatal("random conflict traffic should produce some victim hits")
+	}
+}
+
+func TestVictimCacheNeverWorseThanPlain(t *testing.T) {
+	tr := workload.Compress{}.Generate(workload.Config{Scale: 1, Seed: 42})
+	plain := MustCache(4096, 32, 1)
+	vc := MustVictimCache(4096, 32, 1, 8)
+	var pm, vm int64
+	for i, a := range tr.Accesses[:100_000] {
+		if !plain.Access(a, int64(i)).Hit {
+			pm++
+		}
+		if !vc.Access(a, int64(i)).Hit {
+			vm++
+		}
+	}
+	if vm > pm {
+		t.Fatalf("victim cache missed more than plain cache: %d vs %d", vm, pm)
+	}
+}
+
+func TestVictimCacheCloneAndReset(t *testing.T) {
+	vc := MustVictimCache(512, 32, 1, 2)
+	vc.Access(ld(0), 0)
+	vc.Access(ld(0x1000), 1)
+	c := vc.Clone().(*VictimCache)
+	if c.VictimHits != 0 || c.Misses != 0 {
+		t.Fatal("clone inherited state")
+	}
+	vc.Reset()
+	if vc.VictimHits != 0 || vc.Hits != 0 {
+		t.Fatal("reset did not clear stats")
+	}
+	if r := vc.Access(ld(0), 0); r.Hit {
+		t.Fatal("reset did not clear contents")
+	}
+}

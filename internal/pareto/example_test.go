@@ -1,0 +1,40 @@
+package pareto_test
+
+import (
+	"fmt"
+
+	"memorex/internal/pareto"
+)
+
+// Extracting the cost/latency pareto front of a small design space.
+func ExampleFront() {
+	designs := []pareto.Point{
+		{Label: "cheap-slow", Cost: 100, Latency: 20},
+		{Label: "dominated", Cost: 250, Latency: 22},
+		{Label: "balanced", Cost: 200, Latency: 10},
+		{Label: "fast", Cost: 400, Latency: 4},
+	}
+	for _, p := range pareto.Front(designs, pareto.Cost, pareto.Latency) {
+		fmt.Printf("%s: %.0f gates, %.0f cycles\n", p.Label, p.Cost, p.Latency)
+	}
+	// Output:
+	// cheap-slow: 100 gates, 20 cycles
+	// balanced: 200 gates, 10 cycles
+	// fast: 400 gates, 4 cycles
+}
+
+// The paper's power-constrained scenario: cost/latency optimization
+// under an energy budget.
+func ExamplePowerConstrained() {
+	designs := []pareto.Point{
+		{Label: "frugal", Cost: 100, Latency: 20, Energy: 5},
+		{Label: "hungry", Cost: 120, Latency: 6, Energy: 30},
+		{Label: "middle", Cost: 200, Latency: 10, Energy: 9},
+	}
+	for _, p := range pareto.PowerConstrained(designs, 10) {
+		fmt.Println(p.Label)
+	}
+	// Output:
+	// frugal
+	// middle
+}

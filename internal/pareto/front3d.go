@@ -1,0 +1,116 @@
+package pareto
+
+import (
+	"math"
+	"sort"
+)
+
+// Dominates3D reports whether a dominates b in all three metric axes:
+// no worse everywhere and strictly better somewhere.
+func Dominates3D(a, b *Point) bool {
+	better := false
+	for _, d := range []Dim{Cost, Latency, Energy} {
+		av, bv := a.Get(d), b.Get(d)
+		if av > bv {
+			return false
+		}
+		if av < bv {
+			better = true
+		}
+	}
+	return better
+}
+
+// Front3D returns the pareto-optimal subset in the full
+// (cost, latency, energy) space, ordered by ascending cost. A design on
+// a 2-D projection front is always on the 3-D front, but not vice versa:
+// the 3-D front also keeps balanced designs that every projection hides.
+func Front3D(points []Point) []Point {
+	var out []Point
+	for i := range points {
+		dominated := false
+		duplicate := false
+		for j := range points {
+			if i == j {
+				continue
+			}
+			if Dominates3D(&points[j], &points[i]) {
+				dominated = true
+				break
+			}
+			if j < i &&
+				points[j].Cost == points[i].Cost &&
+				points[j].Latency == points[i].Latency &&
+				points[j].Energy == points[i].Energy {
+				duplicate = true
+				break
+			}
+		}
+		if !dominated && !duplicate {
+			out = append(out, points[i])
+		}
+	}
+	sort.SliceStable(out, func(a, b int) bool {
+		if out[a].Cost != out[b].Cost {
+			return out[a].Cost < out[b].Cost
+		}
+		if out[a].Latency != out[b].Latency {
+			return out[a].Latency < out[b].Latency
+		}
+		return out[a].Energy < out[b].Energy
+	})
+	return out
+}
+
+// Hypervolume2D returns the area dominated by the (x, y) front of the
+// points, measured against a reference point that must be no better than
+// every point on both axes. It is the standard quality indicator for
+// comparing exploration strategies: a larger hypervolume means a better
+// front.
+func Hypervolume2D(points []Point, x, y Dim, refX, refY float64) float64 {
+	front := Front(points, x, y)
+	var hv float64
+	prevX := refX
+	// Walk the front from largest x (closest to the reference) to
+	// smallest, accumulating rectangles.
+	for i := len(front) - 1; i >= 0; i-- {
+		px, py := front[i].Get(x), front[i].Get(y)
+		if px > refX || py > refY {
+			continue // outside the reference box
+		}
+		hv += (prevX - px) * (refY - py)
+		prevX = px
+	}
+	return hv
+}
+
+// Knee returns the knee point of the (x, y) front: the design with the
+// maximum perpendicular distance from the line joining the front's
+// endpoints — the usual "best trade-off" suggestion given to designers.
+// It returns false if the front has fewer than three points.
+func Knee(points []Point, x, y Dim) (Point, bool) {
+	front := Front(points, x, y)
+	if len(front) < 3 {
+		return Point{}, false
+	}
+	x1, y1 := front[0].Get(x), front[0].Get(y)
+	x2, y2 := front[len(front)-1].Get(x), front[len(front)-1].Get(y)
+	// Normalize axes so the distance is scale-free.
+	dx, dy := x2-x1, y2-y1
+	if dx == 0 || dy == 0 {
+		return Point{}, false
+	}
+	best := -1.0
+	var knee Point
+	for _, p := range front[1 : len(front)-1] {
+		nx := (p.Get(x) - x1) / dx
+		ny := (p.Get(y) - y1) / dy
+		// Distance from the normalized diagonal (0,0)-(1,1).
+		d := math.Abs(nx-ny) / math.Sqrt2
+		if d > best {
+			best = d
+			knee = p
+		}
+	}
+	return knee, true
+}

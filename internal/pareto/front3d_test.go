@@ -1,0 +1,153 @@
+package pareto
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDominates3D(t *testing.T) {
+	a := Point{Cost: 1, Latency: 1, Energy: 1}
+	b := Point{Cost: 2, Latency: 2, Energy: 2}
+	c := Point{Cost: 1, Latency: 3, Energy: 0.5}
+	if !Dominates3D(&a, &b) {
+		t.Fatal("a should dominate b")
+	}
+	if Dominates3D(&a, &c) || Dominates3D(&c, &a) {
+		t.Fatal("a and c are incomparable")
+	}
+	if Dominates3D(&a, &a) {
+		t.Fatal("a point does not dominate itself")
+	}
+}
+
+func TestFront3DKeepsBalancedDesigns(t *testing.T) {
+	// The balanced point (2,2,2) is dominated in no axis pair... it IS
+	// dominated in the cost/latency projection by (1,1,9), but in 3-D
+	// nothing dominates it.
+	points := pts(
+		[3]float64{1, 1, 9},
+		[3]float64{9, 9, 1},
+		[3]float64{2, 2, 2},
+	)
+	f3 := Front3D(points)
+	if len(f3) != 3 {
+		t.Fatalf("3-D front should keep all 3 points, got %d", len(f3))
+	}
+	f2 := Front(points, Cost, Latency)
+	if len(f2) != 1 {
+		t.Fatalf("2-D projection should keep only (1,1): %+v", f2)
+	}
+}
+
+func TestFront3DRemovesDuplicates(t *testing.T) {
+	points := pts([3]float64{1, 1, 1}, [3]float64{1, 1, 1})
+	if got := Front3D(points); len(got) != 1 {
+		t.Fatalf("duplicates should collapse, got %d", len(got))
+	}
+}
+
+// Property: for points in general position (continuous coordinates, so
+// ties have probability zero), every 2-D projection front is a subset of
+// the 3-D front, and no point of the 3-D front is dominated. (With axis
+// ties the subset claim is genuinely false: a 2-D front point can be
+// 3-D-dominated by an equal-x/y, better-z point.)
+func TestQuickFront3DSuperset(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		points := make([]Point, int(n)+3)
+		for i := range points {
+			points[i] = Point{
+				Cost:    rng.Float64() * 20,
+				Latency: rng.Float64() * 20,
+				Energy:  rng.Float64() * 20,
+			}
+		}
+		f3 := Front3D(points)
+		in3 := func(p Point) bool {
+			for _, q := range f3 {
+				if q.Cost == p.Cost && q.Latency == p.Latency && q.Energy == p.Energy {
+					return true
+				}
+			}
+			return false
+		}
+		for _, proj := range [][2]Dim{{Cost, Latency}, {Latency, Energy}, {Cost, Energy}} {
+			for _, p := range Front(points, proj[0], proj[1]) {
+				if !in3(p) {
+					return false
+				}
+			}
+		}
+		for i := range f3 {
+			for j := range points {
+				if Dominates3D(&points[j], &f3[i]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHypervolume2D(t *testing.T) {
+	// Single point (1,1) against reference (3,3): dominated area 2x2=4.
+	points := pts([3]float64{1, 1, 0})
+	hv := Hypervolume2D(points, Cost, Latency, 3, 3)
+	if math.Abs(hv-4) > 1e-12 {
+		t.Fatalf("hypervolume = %v, want 4", hv)
+	}
+	// Two staircase points (1,2) and (2,1) against (3,3):
+	// total = 3 (2x1 + 1x2 ... computed as rectangles = 3).
+	points = pts([3]float64{1, 2, 0}, [3]float64{2, 1, 0})
+	hv = Hypervolume2D(points, Cost, Latency, 3, 3)
+	if math.Abs(hv-3) > 1e-12 {
+		t.Fatalf("staircase hypervolume = %v, want 3", hv)
+	}
+	// Points outside the reference box contribute nothing.
+	points = pts([3]float64{5, 5, 0})
+	if hv := Hypervolume2D(points, Cost, Latency, 3, 3); hv != 0 {
+		t.Fatalf("out-of-box hypervolume = %v, want 0", hv)
+	}
+}
+
+// Property: adding a point never decreases the hypervolume.
+func TestQuickHypervolumeMonotone(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		points := make([]Point, int(n)+1)
+		for i := range points {
+			points[i] = Point{Cost: rng.Float64() * 10, Latency: rng.Float64() * 10}
+		}
+		base := Hypervolume2D(points[:len(points)-1], Cost, Latency, 12, 12)
+		more := Hypervolume2D(points, Cost, Latency, 12, 12)
+		return more >= base-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKnee(t *testing.T) {
+	// A strongly bent front: the knee is the middle point.
+	points := pts(
+		[3]float64{1, 10, 0},
+		[3]float64{2, 2, 0},
+		[3]float64{10, 1, 0},
+	)
+	k, ok := Knee(points, Cost, Latency)
+	if !ok {
+		t.Fatal("knee not found")
+	}
+	if k.Cost != 2 || k.Latency != 2 {
+		t.Fatalf("knee = %+v, want (2,2)", k)
+	}
+	// Fewer than 3 front points: no knee.
+	if _, ok := Knee(points[:2], Cost, Latency); ok {
+		t.Fatal("knee of a 2-point front should not exist")
+	}
+}

@@ -1,0 +1,231 @@
+// Package pareto provides the design-point representation and the
+// pareto-front machinery the exploration uses at every pruning stage:
+// front extraction in any 2-D projection of the (cost, latency, energy)
+// space, the paper's three constrained-selection scenarios, and the
+// coverage/average-distance metrics of Table 2.
+package pareto
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Dim selects a metric axis of a design point.
+type Dim int
+
+// Metric axes. All are minimized.
+const (
+	Cost    Dim = iota // gate equivalents
+	Latency            // average memory latency, cycles/access
+	Energy             // average energy, nJ/access
+)
+
+// String implements fmt.Stringer.
+func (d Dim) String() string {
+	switch d {
+	case Cost:
+		return "cost"
+	case Latency:
+		return "latency"
+	case Energy:
+		return "energy"
+	default:
+		return fmt.Sprintf("dim(%d)", int(d))
+	}
+}
+
+// Point is one evaluated design: an architecture with its three metrics.
+// Meta carries the architecture handle of the producing layer.
+type Point struct {
+	Label   string
+	Cost    float64
+	Latency float64
+	Energy  float64
+	Meta    interface{}
+}
+
+// Get returns the point's value on the given axis.
+func (p *Point) Get(d Dim) float64 {
+	switch d {
+	case Cost:
+		return p.Cost
+	case Latency:
+		return p.Latency
+	case Energy:
+		return p.Energy
+	default:
+		panic(fmt.Sprintf("pareto: unknown dimension %d", d))
+	}
+}
+
+// Dominates reports whether a dominates b in the (x, y) projection:
+// a is no worse on both axes and strictly better on at least one.
+func Dominates(a, b *Point, x, y Dim) bool {
+	ax, ay := a.Get(x), a.Get(y)
+	bx, by := b.Get(x), b.Get(y)
+	return ax <= bx && ay <= by && (ax < bx || ay < by)
+}
+
+// Front returns the pareto-optimal subset of points in the (x, y)
+// projection, sorted by ascending x. Duplicate-metric points are kept
+// once (the first occurrence wins).
+func Front(points []Point, x, y Dim) []Point {
+	if len(points) == 0 {
+		return nil
+	}
+	idx := make([]int, len(points))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		pa, pb := &points[idx[a]], &points[idx[b]]
+		if pa.Get(x) != pb.Get(x) {
+			return pa.Get(x) < pb.Get(x)
+		}
+		return pa.Get(y) < pb.Get(y)
+	})
+	var front []Point
+	bestY := math.Inf(1)
+	lastX := math.Inf(-1)
+	for _, i := range idx {
+		p := points[i]
+		if p.Get(y) < bestY {
+			if p.Get(x) == lastX && len(front) > 0 {
+				// Same x, better y: replace (can only happen for the
+				// first point of an x group due to sorting).
+				front[len(front)-1] = p
+			} else {
+				front = append(front, p)
+			}
+			bestY = p.Get(y)
+			lastX = p.Get(x)
+		}
+	}
+	return front
+}
+
+// Filter returns the points whose value on axis d is at most limit.
+func Filter(points []Point, d Dim, limit float64) []Point {
+	var out []Point
+	for _, p := range points {
+		if p.Get(d) <= limit {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// The paper's three constrained-selection scenarios (Section 5 (II)).
+
+// PowerConstrained returns the cost/latency pareto points whose energy
+// does not exceed maxEnergy (scenario a).
+func PowerConstrained(points []Point, maxEnergy float64) []Point {
+	return Front(Filter(points, Energy, maxEnergy), Cost, Latency)
+}
+
+// CostConstrained returns the latency/energy pareto points whose cost
+// does not exceed maxCost (scenario b).
+func CostConstrained(points []Point, maxCost float64) []Point {
+	return Front(Filter(points, Cost, maxCost), Latency, Energy)
+}
+
+// PerformanceConstrained returns the cost/energy pareto points whose
+// latency does not exceed maxLatency (scenario c).
+func PerformanceConstrained(points []Point, maxLatency float64) []Point {
+	return Front(Filter(points, Latency, maxLatency), Cost, Energy)
+}
+
+// Coverage reports the fraction of truth points that are matched by some
+// found point within relative tolerance tol on all three axes. This is
+// Table 2's "Coverage" metric.
+func Coverage(found, truth []Point, tol float64) float64 {
+	if len(truth) == 0 {
+		return 1
+	}
+	matched := 0
+	for i := range truth {
+		for j := range found {
+			if withinTol(&found[j], &truth[i], tol) {
+				matched++
+				break
+			}
+		}
+	}
+	return float64(matched) / float64(len(truth))
+}
+
+func withinTol(a, b *Point, tol float64) bool {
+	for _, d := range []Dim{Cost, Latency, Energy} {
+		if relDiff(a.Get(d), b.Get(d)) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func relDiff(a, b float64) float64 {
+	den := math.Max(math.Abs(a), math.Abs(b))
+	if den == 0 {
+		return 0
+	}
+	return math.Abs(a-b) / den
+}
+
+// Distance is the paper's "average distance" metric: for every truth
+// point not exactly covered, the per-axis percentile deviation to the
+// closest found point, averaged over the missed points.
+type Distance struct {
+	CostPct    float64
+	LatencyPct float64
+	EnergyPct  float64
+	// Missed is the number of truth points not covered within tol.
+	Missed int
+}
+
+// AvgDistance computes the average per-axis deviation between missed
+// truth points and their closest found approximations.
+func AvgDistance(found, truth []Point, tol float64) Distance {
+	var d Distance
+	if len(found) == 0 {
+		if len(truth) > 0 {
+			return Distance{CostPct: 100, LatencyPct: 100, EnergyPct: 100, Missed: len(truth)}
+		}
+		return d
+	}
+	for i := range truth {
+		covered := false
+		for j := range found {
+			if withinTol(&found[j], &truth[i], tol) {
+				covered = true
+				break
+			}
+		}
+		if covered {
+			continue
+		}
+		// Closest found point by normalized euclidean distance.
+		best := -1
+		bestDist := math.Inf(1)
+		for j := range found {
+			dist := 0.0
+			for _, dim := range []Dim{Cost, Latency, Energy} {
+				r := relDiff(found[j].Get(dim), truth[i].Get(dim))
+				dist += r * r
+			}
+			if dist < bestDist {
+				bestDist, best = dist, j
+			}
+		}
+		d.Missed++
+		d.CostPct += 100 * relDiff(found[best].Cost, truth[i].Cost)
+		d.LatencyPct += 100 * relDiff(found[best].Latency, truth[i].Latency)
+		d.EnergyPct += 100 * relDiff(found[best].Energy, truth[i].Energy)
+	}
+	if d.Missed > 0 {
+		d.CostPct /= float64(d.Missed)
+		d.LatencyPct /= float64(d.Missed)
+		d.EnergyPct /= float64(d.Missed)
+	}
+	return d
+}

@@ -1,0 +1,234 @@
+package pareto
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func pts(vals ...[3]float64) []Point {
+	out := make([]Point, len(vals))
+	for i, v := range vals {
+		out[i] = Point{Cost: v[0], Latency: v[1], Energy: v[2]}
+	}
+	return out
+}
+
+func TestFrontSimple(t *testing.T) {
+	// (1,10) (2,5) (3,7) (4,1): (3,7) is dominated by (2,5).
+	p := pts([3]float64{1, 10, 0}, [3]float64{2, 5, 0}, [3]float64{3, 7, 0}, [3]float64{4, 1, 0})
+	f := Front(p, Cost, Latency)
+	if len(f) != 3 {
+		t.Fatalf("front size = %d, want 3: %+v", len(f), f)
+	}
+	for i := 1; i < len(f); i++ {
+		if f[i].Cost <= f[i-1].Cost || f[i].Latency >= f[i-1].Latency {
+			t.Fatalf("front not strictly improving: %+v", f)
+		}
+	}
+}
+
+func TestFrontEmptyAndSingle(t *testing.T) {
+	if Front(nil, Cost, Latency) != nil {
+		t.Fatal("front of nothing should be nil")
+	}
+	p := pts([3]float64{1, 1, 1})
+	if len(Front(p, Cost, Latency)) != 1 {
+		t.Fatal("front of one point should be that point")
+	}
+}
+
+func TestFrontDuplicateX(t *testing.T) {
+	p := pts([3]float64{1, 9, 0}, [3]float64{1, 4, 0}, [3]float64{2, 2, 0})
+	f := Front(p, Cost, Latency)
+	if len(f) != 2 || f[0].Latency != 4 {
+		t.Fatalf("duplicate-x handling wrong: %+v", f)
+	}
+}
+
+func TestDominates(t *testing.T) {
+	a := Point{Cost: 1, Latency: 1}
+	b := Point{Cost: 2, Latency: 2}
+	c := Point{Cost: 1, Latency: 1}
+	if !Dominates(&a, &b, Cost, Latency) {
+		t.Fatal("a should dominate b")
+	}
+	if Dominates(&a, &c, Cost, Latency) {
+		t.Fatal("equal points must not dominate each other")
+	}
+	if Dominates(&b, &a, Cost, Latency) {
+		t.Fatal("dominated point cannot dominate")
+	}
+}
+
+// Property: no point in a front is dominated by any input point, and
+// every input point is dominated by or equal to some front point.
+func TestQuickFrontSoundAndComplete(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		points := make([]Point, int(n)+1)
+		for i := range points {
+			points[i] = Point{
+				Cost:    float64(rng.Intn(50)),
+				Latency: float64(rng.Intn(50)),
+				Energy:  float64(rng.Intn(50)),
+			}
+		}
+		front := Front(points, Cost, Latency)
+		for i := range front {
+			for j := range points {
+				if Dominates(&points[j], &front[i], Cost, Latency) {
+					return false // unsound: dominated point on the front
+				}
+			}
+		}
+		for j := range points {
+			ok := false
+			for i := range front {
+				fp, pp := &front[i], &points[j]
+				if Dominates(fp, pp, Cost, Latency) ||
+					(fp.Cost == pp.Cost && fp.Latency == pp.Latency) {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return false // incomplete: point not covered by the front
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Front is idempotent.
+func TestQuickFrontIdempotent(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		points := make([]Point, int(n)+1)
+		for i := range points {
+			points[i] = Point{Cost: rng.Float64() * 10, Latency: rng.Float64() * 10}
+		}
+		f1 := Front(points, Cost, Latency)
+		f2 := Front(f1, Cost, Latency)
+		if len(f1) != len(f2) {
+			return false
+		}
+		for i := range f1 {
+			if f1[i] != f2[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScenarios(t *testing.T) {
+	points := pts(
+		[3]float64{100, 10, 5}, // cheap, slow, frugal
+		[3]float64{200, 5, 8},  // mid
+		[3]float64{400, 2, 20}, // fast, power hungry
+		[3]float64{150, 8, 30}, // dominated in cost/lat by nothing cheap... but energy 30
+	)
+	// Power-constrained at 10 nJ: the 20/30 nJ points are excluded.
+	pc := PowerConstrained(points, 10)
+	for _, p := range pc {
+		if p.Energy > 10 {
+			t.Fatalf("power constraint violated: %+v", p)
+		}
+	}
+	if len(pc) != 2 {
+		t.Fatalf("power-constrained front = %+v, want the 2 frugal points", pc)
+	}
+	// Cost-constrained at 250: the 400-gate point is excluded.
+	cc := CostConstrained(points, 250)
+	for _, p := range cc {
+		if p.Cost > 250 {
+			t.Fatalf("cost constraint violated: %+v", p)
+		}
+	}
+	// Performance-constrained at 8 cycles.
+	fc := PerformanceConstrained(points, 8)
+	for _, p := range fc {
+		if p.Latency > 8 {
+			t.Fatalf("latency constraint violated: %+v", p)
+		}
+	}
+}
+
+func TestCoverage(t *testing.T) {
+	truth := pts([3]float64{100, 10, 5}, [3]float64{200, 5, 8})
+	found := pts([3]float64{100, 10, 5})
+	if c := Coverage(found, truth, 0.001); c != 0.5 {
+		t.Fatalf("coverage = %v, want 0.5", c)
+	}
+	if c := Coverage(truth, truth, 0.001); c != 1 {
+		t.Fatalf("self-coverage = %v, want 1", c)
+	}
+	if c := Coverage(nil, nil, 0.001); c != 1 {
+		t.Fatalf("empty truth coverage = %v, want 1", c)
+	}
+	// Near match within 1% tolerance.
+	near := pts([3]float64{100.5, 10.05, 5.02}, [3]float64{201, 5.04, 8.05})
+	if c := Coverage(near, truth, 0.01); c != 1 {
+		t.Fatalf("tolerant coverage = %v, want 1", c)
+	}
+}
+
+func TestAvgDistance(t *testing.T) {
+	truth := pts([3]float64{100, 10, 10})
+	found := pts([3]float64{110, 11, 10})
+	d := AvgDistance(found, truth, 0.001)
+	if d.Missed != 1 {
+		t.Fatalf("missed = %d, want 1", d.Missed)
+	}
+	// 10/110 ~ 9.09% on cost and latency, 0 on energy.
+	if d.CostPct < 9 || d.CostPct > 9.2 || d.EnergyPct != 0 {
+		t.Fatalf("distance wrong: %+v", d)
+	}
+	// Fully covered: zero distance.
+	d2 := AvgDistance(truth, truth, 0.001)
+	if d2.Missed != 0 || d2.CostPct != 0 {
+		t.Fatalf("self distance should be zero: %+v", d2)
+	}
+	// Nothing found at all.
+	d3 := AvgDistance(nil, truth, 0.001)
+	if d3.CostPct != 100 || d3.Missed != 1 {
+		t.Fatalf("empty found distance: %+v", d3)
+	}
+	if d4 := AvgDistance(nil, nil, 0.001); d4.Missed != 0 {
+		t.Fatalf("empty/empty distance: %+v", d4)
+	}
+}
+
+func TestFilter(t *testing.T) {
+	points := pts([3]float64{1, 1, 1}, [3]float64{2, 2, 2}, [3]float64{3, 3, 3})
+	f := Filter(points, Cost, 2)
+	if len(f) != 2 {
+		t.Fatalf("filter kept %d, want 2", len(f))
+	}
+	if len(Filter(points, Energy, 0)) != 0 {
+		t.Fatal("filter below minimum should be empty")
+	}
+}
+
+func TestGetPanicsOnBadDim(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Get accepted invalid dimension")
+		}
+	}()
+	p := Point{}
+	p.Get(Dim(9))
+}
+
+func TestDimString(t *testing.T) {
+	if Cost.String() != "cost" || Latency.String() != "latency" || Energy.String() != "energy" {
+		t.Fatal("dim strings wrong")
+	}
+}

@@ -1,0 +1,164 @@
+// Package plot renders 2-D scatter plots as ASCII, so that the paper's
+// figures can be reproduced as actual figures in a terminal and in
+// EXPERIMENTS.md. It supports multiple series with distinct markers,
+// axis labels, and linear or logarithmic axes.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one set of points drawn with one marker.
+type Series struct {
+	Name   string
+	Marker byte
+	X, Y   []float64
+}
+
+// Plot is a 2-D scatter plot under construction.
+type Plot struct {
+	Title  string
+	XLabel string
+	YLabel string
+	// Width and Height are the plot-area dimensions in characters
+	// (default 64x20).
+	Width, Height int
+	// LogX / LogY select logarithmic axes.
+	LogX, LogY bool
+	series     []Series
+}
+
+// New returns an empty plot.
+func New(title, xlabel, ylabel string) *Plot {
+	return &Plot{Title: title, XLabel: xlabel, YLabel: ylabel, Width: 64, Height: 20}
+}
+
+// Add appends a series. X and Y must have equal length.
+func (p *Plot) Add(s Series) error {
+	if len(s.X) != len(s.Y) {
+		return fmt.Errorf("plot: series %q has %d x values but %d y values", s.Name, len(s.X), len(s.Y))
+	}
+	if s.Marker == 0 {
+		s.Marker = '+'
+	}
+	p.series = append(p.series, s)
+	return nil
+}
+
+// bounds returns the data range across all series.
+func (p *Plot) bounds() (xmin, xmax, ymin, ymax float64, ok bool) {
+	xmin, ymin = math.Inf(1), math.Inf(1)
+	xmax, ymax = math.Inf(-1), math.Inf(-1)
+	for _, s := range p.series {
+		for i := range s.X {
+			if p.LogX && s.X[i] <= 0 || p.LogY && s.Y[i] <= 0 {
+				continue
+			}
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymin = math.Min(ymin, s.Y[i])
+			ymax = math.Max(ymax, s.Y[i])
+		}
+	}
+	ok = !math.IsInf(xmin, 1)
+	return
+}
+
+func (p *Plot) scale(v, lo, hi float64, log bool, steps int) int {
+	if log {
+		v, lo, hi = math.Log10(v), math.Log10(lo), math.Log10(hi)
+	}
+	if hi == lo {
+		return steps / 2
+	}
+	i := int(math.Round((v - lo) / (hi - lo) * float64(steps-1)))
+	if i < 0 {
+		i = 0
+	}
+	if i >= steps {
+		i = steps - 1
+	}
+	return i
+}
+
+// Render draws the plot.
+func (p *Plot) Render() string {
+	w, h := p.Width, p.Height
+	if w < 16 {
+		w = 16
+	}
+	if h < 6 {
+		h = 6
+	}
+	var b strings.Builder
+	if p.Title != "" {
+		fmt.Fprintf(&b, "%s\n", p.Title)
+	}
+	xmin, xmax, ymin, ymax, ok := p.bounds()
+	if !ok {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	grid := make([][]byte, h)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", w))
+	}
+	for _, s := range p.series {
+		for i := range s.X {
+			if p.LogX && s.X[i] <= 0 || p.LogY && s.Y[i] <= 0 {
+				continue
+			}
+			col := p.scale(s.X[i], xmin, xmax, p.LogX, w)
+			row := h - 1 - p.scale(s.Y[i], ymin, ymax, p.LogY, h)
+			grid[row][col] = s.Marker
+		}
+	}
+	yTop := fmt.Sprintf("%.4g", ymax)
+	yBot := fmt.Sprintf("%.4g", ymin)
+	margin := len(yTop)
+	if len(yBot) > margin {
+		margin = len(yBot)
+	}
+	for r := range grid {
+		label := strings.Repeat(" ", margin)
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%*s", margin, yTop)
+		case h - 1:
+			label = fmt.Sprintf("%*s", margin, yBot)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", margin), strings.Repeat("-", w))
+	xl := fmt.Sprintf("%.4g", xmin)
+	xr := fmt.Sprintf("%.4g", xmax)
+	pad := w - len(xl) - len(xr)
+	if pad < 1 {
+		pad = 1
+	}
+	fmt.Fprintf(&b, "%s  %s%s%s\n", strings.Repeat(" ", margin), xl, strings.Repeat(" ", pad), xr)
+	if p.XLabel != "" || p.YLabel != "" {
+		fmt.Fprintf(&b, "%s  x: %s, y: %s", strings.Repeat(" ", margin), p.XLabel, p.YLabel)
+		if p.LogX || p.LogY {
+			b.WriteString(" (log")
+			if p.LogX {
+				b.WriteString(" x")
+			}
+			if p.LogY {
+				b.WriteString(" y")
+			}
+			b.WriteString(")")
+		}
+		b.WriteString("\n")
+	}
+	if len(p.series) > 1 {
+		b.WriteString(strings.Repeat(" ", margin) + "  legend:")
+		for _, s := range p.series {
+			fmt.Fprintf(&b, " %c=%s", s.Marker, s.Name)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

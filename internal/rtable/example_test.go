@@ -1,0 +1,33 @@
+package rtable_test
+
+import (
+	"fmt"
+
+	"memorex/internal/rtable"
+)
+
+// A pipelined bus transfer: one arbitration cycle, two data beats. The
+// reservation table shows the resource occupation, and the scheduler
+// overlaps back-to-back transfers on the arbiter/data boundary.
+func ExampleTable() {
+	t := rtable.New("bus", 2)
+	t.Stage(0, 0, 1) // arbiter, cycle 0
+	t.Stage(1, 1, 2) // data path, cycles 1-2
+	fmt.Print(t)
+	fmt.Println("MII:", t.MinInitiationInterval())
+	// Output:
+	// bus:
+	//   r0 X..
+	//   r1 .XX
+	// MII: 2
+}
+
+func ExampleScheduler_EarliestIssue() {
+	s := rtable.NewScheduler(1)
+	stages := []rtable.Stage{{Res: 0, Start: 0, Len: 3}}
+	fmt.Println(s.EarliestIssue(0, stages)) // bus idle: granted at once
+	fmt.Println(s.EarliestIssue(1, stages)) // busy until cycle 3
+	// Output:
+	// 0
+	// 3
+}

@@ -1,0 +1,301 @@
+// Package rtable implements reservation tables, the mechanism the paper
+// (following Grun et al.'s RTGEN and Hennessy/Patterson) uses to model
+// latency, pipelining and resource conflicts in the connectivity and
+// memory architecture. A reservation table records which resource a
+// transfer occupies at which relative cycle; a Scheduler finds the
+// earliest conflict-free issue slot for a new transfer given everything
+// already reserved.
+package rtable
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a static reservation table: Rows[r] is a bitmask of the cycles
+// (bit i = cycle i) during which resource r is occupied by one operation.
+// Tables are limited to 64 cycles, ample for bus transfers.
+type Table struct {
+	Name string
+	Rows []uint64
+}
+
+// New returns an empty table with the given number of resources.
+func New(name string, resources int) *Table {
+	return &Table{Name: name, Rows: make([]uint64, resources)}
+}
+
+// Stage marks resource res occupied during cycles [start, start+length).
+func (t *Table) Stage(res, start, length int) *Table {
+	if res < 0 || res >= len(t.Rows) {
+		panic(fmt.Sprintf("rtable: resource %d out of range", res))
+	}
+	if start < 0 || length < 0 || start+length > 64 {
+		panic(fmt.Sprintf("rtable: stage [%d,%d) out of the 64-cycle window", start, start+length))
+	}
+	for c := start; c < start+length; c++ {
+		t.Rows[res] |= 1 << uint(c)
+	}
+	return t
+}
+
+// Length returns the number of cycles from issue to the last occupied
+// cycle plus one (the table's makespan).
+func (t *Table) Length() int {
+	max := 0
+	for _, row := range t.Rows {
+		for c := 63; c >= max; c-- {
+			if row&(1<<uint(c)) != 0 {
+				max = c + 1
+				break
+			}
+		}
+	}
+	return max
+}
+
+// ConflictFree reports whether a second identical operation can issue k
+// cycles after the first without any resource collision.
+func (t *Table) ConflictFree(k int) bool {
+	if k < 0 {
+		return false
+	}
+	if k >= 64 {
+		return true
+	}
+	for _, row := range t.Rows {
+		if row&(row>>uint(k)) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ForbiddenLatencies returns every k in [1, Length) at which a second
+// identical operation collides with the first.
+func (t *Table) ForbiddenLatencies() []int {
+	var out []int
+	for k := 1; k < t.Length(); k++ {
+		if !t.ConflictFree(k) {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// MinInitiationInterval returns the smallest k >= 1 at which identical
+// operations can issue back to back indefinitely. For a reservation
+// table this equals the smallest conflict-free k, because conflicts
+// between operation n and n+2 at spacing 2k are a subset of shifts
+// already checked at k (row&row>>2k != 0 implies row&row>>k != 0 is not
+// guaranteed in general, so we verify multiples explicitly).
+func (t *Table) MinInitiationInterval() int {
+	length := t.Length()
+	if length == 0 {
+		return 1
+	}
+	for k := 1; k <= length; k++ {
+		ok := true
+		for m := k; m < length && ok; m += k {
+			if !t.ConflictFree(m) {
+				ok = false
+			}
+		}
+		if ok {
+			return k
+		}
+	}
+	return length
+}
+
+// String renders the table as an X/. grid for debugging.
+func (t *Table) String() string {
+	length := t.Length()
+	if length == 0 {
+		length = 1
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s:\n", t.Name)
+	for r, row := range t.Rows {
+		fmt.Fprintf(&b, "  r%d ", r)
+		for c := 0; c < length; c++ {
+			if row&(1<<uint(c)) != 0 {
+				b.WriteByte('X')
+			} else {
+				b.WriteByte('.')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Stage describes one resource occupation of a dynamic request: resource
+// Res is held for cycles [Start, Start+Len) relative to issue.
+type Stage struct {
+	Res   int
+	Start int
+	Len   int
+}
+
+// Stages converts a static table into the equivalent stage list.
+func (t *Table) Stages() []Stage {
+	var out []Stage
+	for r, row := range t.Rows {
+		c := 0
+		for c < 64 {
+			if row&(1<<uint(c)) == 0 {
+				c++
+				continue
+			}
+			start := c
+			for c < 64 && row&(1<<uint(c)) != 0 {
+				c++
+			}
+			out = append(out, Stage{Res: r, Start: start, Len: c - start})
+		}
+	}
+	return out
+}
+
+// Scheduler tracks the reservations of one hardware unit (e.g. one bus)
+// over absolute time and answers earliest-issue queries. It maintains a
+// sliding bitmap window per resource; reservations may not be placed
+// more than windowCycles in the past once time has advanced.
+type Scheduler struct {
+	res    int
+	base   int64 // absolute cycle of bit 0
+	words  int   // window size in 64-bit words per resource
+	window [][]uint64
+}
+
+const defaultWindowWords = 64 // 4096-cycle window
+
+// NewScheduler returns a scheduler over the given number of resources.
+func NewScheduler(resources int) *Scheduler {
+	s := &Scheduler{res: resources, words: defaultWindowWords}
+	s.window = make([][]uint64, resources)
+	for i := range s.window {
+		s.window[i] = make([]uint64, s.words)
+	}
+	return s
+}
+
+// advance slides the window so that absolute cycle t is representable.
+func (s *Scheduler) advance(t int64) {
+	if t < s.base+int64((s.words-1)*64) {
+		return
+	}
+	// Slide so that t sits in the first quarter of the window.
+	newBase := t - int64(s.words*16)
+	if newBase < s.base {
+		newBase = s.base
+	}
+	shiftWords := int((newBase - s.base + 63) / 64)
+	if shiftWords <= 0 {
+		return
+	}
+	if shiftWords >= s.words {
+		// Jumped past the whole window: everything old is forgotten.
+		for r := range s.window {
+			for w := range s.window[r] {
+				s.window[r][w] = 0
+			}
+		}
+		s.base += int64(shiftWords * 64)
+		return
+	}
+	for r := range s.window {
+		copy(s.window[r], s.window[r][shiftWords:])
+		for w := s.words - shiftWords; w < s.words; w++ {
+			s.window[r][w] = 0
+		}
+	}
+	s.base += int64(shiftWords * 64)
+}
+
+func (s *Scheduler) busy(res int, t int64) bool {
+	if t < s.base {
+		return false // history outside the window is forgotten
+	}
+	off := t - s.base
+	w := int(off / 64)
+	if w >= s.words {
+		return false
+	}
+	return s.window[res][w]&(1<<uint(off%64)) != 0
+}
+
+func (s *Scheduler) mark(res int, t int64) {
+	if t < s.base {
+		return
+	}
+	off := t - s.base
+	w := int(off / 64)
+	if w >= s.words {
+		return
+	}
+	s.window[res][w] |= 1 << uint(off%64)
+}
+
+// fits reports whether the stages can issue at absolute cycle t.
+func (s *Scheduler) fits(t int64, stages []Stage) bool {
+	for _, st := range stages {
+		for c := 0; c < st.Len; c++ {
+			if s.busy(st.Res, t+int64(st.Start+c)) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// EarliestIssue returns the first cycle >= at where stages can be
+// reserved without conflicting with prior reservations, and reserves
+// them. Stages must reference resources < the scheduler's count.
+func (s *Scheduler) EarliestIssue(at int64, stages []Stage) int64 {
+	if at < 0 {
+		at = 0
+	}
+	maxEnd := 0
+	for _, st := range stages {
+		if st.Res < 0 || st.Res >= s.res {
+			panic(fmt.Sprintf("rtable: stage resource %d out of range (have %d)", st.Res, s.res))
+		}
+		if end := st.Start + st.Len; end > maxEnd {
+			maxEnd = end
+		}
+	}
+	s.advance(at + int64(maxEnd))
+	t := at
+	for !s.fits(t, stages) {
+		t++
+		s.advance(t + int64(maxEnd))
+	}
+	for _, st := range stages {
+		for c := 0; c < st.Len; c++ {
+			s.mark(st.Res, t+int64(st.Start+c))
+		}
+	}
+	return t
+}
+
+// Release frees the cycles of stages reserved at issue time t. It is
+// used by split-transaction busses that give the bus back during the
+// slave's dead time.
+func (s *Scheduler) Release(t int64, stages []Stage) {
+	for _, st := range stages {
+		for c := 0; c < st.Len; c++ {
+			abs := t + int64(st.Start+c)
+			if abs < s.base {
+				continue
+			}
+			off := abs - s.base
+			w := int(off / 64)
+			if w >= s.words {
+				continue
+			}
+			s.window[st.Res][w] &^= 1 << uint(off%64)
+		}
+	}
+}

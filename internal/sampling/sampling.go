@@ -1,0 +1,82 @@
+// Package sampling implements the time-sampling estimator of Kessler,
+// Hill and Wood that the paper uses to guide the design-space walk: the
+// simulator alternates "on-sampling" windows that are fully simulated
+// with "off-sampling" windows that are skipped cheaply (module state is
+// kept warm so the next on-window does not see artificial cold misses).
+// With the paper's 1:9 on/off ratio this cuts simulation work by roughly
+// 10x at a fidelity sufficient for relative, incremental pruning
+// decisions — which is all the exploration needs.
+package sampling
+
+import (
+	"fmt"
+
+	"memorex/internal/connect"
+	"memorex/internal/mem"
+	"memorex/internal/sim"
+	"memorex/internal/trace"
+)
+
+// Config parameterizes the sampler.
+type Config struct {
+	// OnWindow is the number of accesses fully simulated per period.
+	OnWindow int
+	// OffRatio is the ratio of skipped to simulated accesses; the paper
+	// uses 9 (1 on : 9 off).
+	OffRatio int
+}
+
+// DefaultConfig returns the paper's 1:9 sampling with a 2000-access
+// on-window.
+func DefaultConfig() Config { return Config{OnWindow: 2000, OffRatio: 9} }
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.OnWindow <= 0 {
+		return fmt.Errorf("sampling: on-window must be positive, got %d", c.OnWindow)
+	}
+	if c.OffRatio < 0 {
+		return fmt.Errorf("sampling: off-ratio must be non-negative, got %d", c.OffRatio)
+	}
+	return nil
+}
+
+// Estimate runs the time-sampled simulation of the trace against the
+// given architectures and returns the sampled result plus the number of
+// accesses actually simulated (the exploration's work measure).
+func Estimate(t *trace.Trace, memArch *mem.Architecture, connArch *connect.Arch, cfg Config) (*sim.Result, int64, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, 0, err
+	}
+	s, err := sim.New(memArch, connArch)
+	if err != nil {
+		return nil, 0, err
+	}
+	n := t.NumAccesses()
+	var simulated int64
+	var last *sim.Result
+	pos := 0
+	for pos < n {
+		hi := pos + cfg.OnWindow
+		if hi > n {
+			hi = n
+		}
+		last, err = s.RunWindow(t, pos, hi)
+		if err != nil {
+			return nil, 0, err
+		}
+		simulated += int64(hi - pos)
+		pos = hi
+		skip := cfg.OnWindow * cfg.OffRatio
+		hi = pos + skip
+		if hi > n {
+			hi = n
+		}
+		s.SkipWindow(t, pos, hi)
+		pos = hi
+	}
+	if last == nil {
+		return nil, 0, fmt.Errorf("sampling: empty trace")
+	}
+	return last, simulated, nil
+}

@@ -1,0 +1,144 @@
+package sampling
+
+import (
+	"math"
+	"testing"
+
+	"memorex/internal/connect"
+	"memorex/internal/mem"
+	"memorex/internal/sim"
+	"memorex/internal/workload"
+)
+
+func arch() (*mem.Architecture, *connect.Arch) {
+	m := &mem.Architecture{
+		Name:    "cache",
+		Modules: []mem.Module{mem.MustCache(4096, 32, 2)},
+		DRAM:    mem.DefaultDRAM(),
+		Default: 0,
+	}
+	lib := connect.Library()
+	ahb, _ := connect.ByName(lib, "ahb32")
+	off, _ := connect.ByName(lib, "off32")
+	chans := m.Channels()
+	c := &connect.Arch{
+		Channels: chans,
+		Clusters: [][]int{{0}, {1}},
+		Assign:   []connect.Component{ahb, off},
+	}
+	return m, c
+}
+
+func TestEstimateReducesWork(t *testing.T) {
+	tr := workload.Compress{}.Generate(workload.DefaultConfig())
+	m, c := arch()
+	_, simulated, err := Estimate(tr, m, c, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := int64(tr.NumAccesses())
+	if simulated >= total/5 {
+		t.Fatalf("sampling simulated %d of %d accesses; expected ~1/10", simulated, total)
+	}
+	if simulated < total/20 {
+		t.Fatalf("sampling simulated only %d of %d accesses; too few for 1:9", simulated, total)
+	}
+}
+
+func TestEstimateFidelity(t *testing.T) {
+	// The sampled estimate must be close enough to full simulation for
+	// relative decisions: within 20% on average latency.
+	tr := workload.Compress{}.Generate(workload.DefaultConfig())
+	m, c := arch()
+
+	s, err := sim.New(m, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := s.Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, _, err := Estimate(tr, m, c, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := math.Abs(est.AvgLatency()-full.AvgLatency()) / full.AvgLatency()
+	if rel > 0.20 {
+		t.Fatalf("sampled latency %.3f vs full %.3f: %.1f%% error",
+			est.AvgLatency(), full.AvgLatency(), rel*100)
+	}
+	relE := math.Abs(est.AvgEnergy()-full.AvgEnergy()) / full.AvgEnergy()
+	if relE > 0.20 {
+		t.Fatalf("sampled energy %.3f vs full %.3f: %.1f%% error",
+			est.AvgEnergy(), full.AvgEnergy(), relE*100)
+	}
+}
+
+func TestEstimatePreservesOrdering(t *testing.T) {
+	// Fidelity claim of the paper: sampling is good enough to *rank*
+	// designs. A small cache must rank worse than a big one under the
+	// estimator too.
+	tr := workload.Compress{}.Generate(workload.DefaultConfig())
+	lib := connect.Library()
+	ahb, _ := connect.ByName(lib, "ahb32")
+	off, _ := connect.ByName(lib, "off32")
+	lat := func(size int) float64 {
+		m := &mem.Architecture{
+			Name:    "c",
+			Modules: []mem.Module{mem.MustCache(size, 32, 2)},
+			DRAM:    mem.DefaultDRAM(),
+			Default: 0,
+		}
+		c := &connect.Arch{
+			Channels: m.Channels(),
+			Clusters: [][]int{{0}, {1}},
+			Assign:   []connect.Component{ahb, off},
+		}
+		r, _, err := Estimate(tr, m, c, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.AvgLatency()
+	}
+	if !(lat(1024) > lat(8192) && lat(8192) > lat(65536)) {
+		t.Fatal("estimator failed to preserve cache-size ordering")
+	}
+}
+
+func TestEstimateConfigValidation(t *testing.T) {
+	tr := workload.Synthetic(workload.SynStream, 100, 1024, 1)
+	m, c := arch()
+	if _, _, err := Estimate(tr, m, c, Config{OnWindow: 0, OffRatio: 9}); err == nil {
+		t.Fatal("zero on-window accepted")
+	}
+	if _, _, err := Estimate(tr, m, c, Config{OnWindow: 10, OffRatio: -1}); err == nil {
+		t.Fatal("negative off-ratio accepted")
+	}
+	// Zero off-ratio = full simulation; must equal sim.Run counts.
+	r, simulated, err := Estimate(tr, m, c, Config{OnWindow: 7, OffRatio: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if simulated != 100 || r.Accesses != 100 {
+		t.Fatalf("off-ratio 0 should simulate everything: %d/%d", simulated, r.Accesses)
+	}
+}
+
+func TestEstimateEmptyTrace(t *testing.T) {
+	tr := workload.Synthetic(workload.SynStream, 0, 1024, 1)
+	m, c := arch()
+	if _, _, err := Estimate(tr, m, c, DefaultConfig()); err == nil {
+		t.Fatal("empty trace should error")
+	}
+}
+
+func TestEstimateInvalidArch(t *testing.T) {
+	tr := workload.Synthetic(workload.SynStream, 100, 1024, 1)
+	m, c := arch()
+	bad := &mem.Architecture{Name: "bad", Default: 4, DRAM: mem.DefaultDRAM()}
+	if _, _, err := Estimate(tr, bad, c, DefaultConfig()); err == nil {
+		t.Fatal("invalid architecture accepted")
+	}
+	_ = m
+}

@@ -1,0 +1,115 @@
+package sim
+
+import (
+	"memorex/internal/mem"
+	"memorex/internal/trace"
+)
+
+// MemOnlyResult is the outcome of a connectivity-free simulation: the
+// module hit/miss behaviour and per-channel traffic of a memory-modules
+// architecture under an idealized (zero-latency, infinite-bandwidth)
+// interconnect. APEX uses the miss ratio for its cost/performance
+// exploration, and ConEx uses the per-channel bytes to build the
+// Bandwidth Requirement Graph.
+type MemOnlyResult struct {
+	Accesses     int64
+	Hits         int64
+	Misses       int64
+	OffChipBytes int64
+	// ChannelBytes holds bytes per channel, indexed like
+	// Architecture.Channels().
+	ChannelBytes []int64
+	// ModuleEnergyNJ is the energy spent in the modules and DRAM alone.
+	ModuleEnergyNJ float64
+}
+
+// MissRatio returns the fraction of accesses needing off-chip service.
+func (r *MemOnlyResult) MissRatio() float64 {
+	if r.Accesses == 0 {
+		return 0
+	}
+	return float64(r.Misses) / float64(r.Accesses)
+}
+
+// RunMemOnly replays the trace against the memory modules with an ideal
+// interconnect. The architecture is cloned, so the caller's module state
+// is untouched.
+func RunMemOnly(t *trace.Trace, arch *mem.Architecture) (*MemOnlyResult, error) {
+	if err := arch.Validate(); err != nil {
+		return nil, err
+	}
+	a := arch.Clone()
+	channels := a.Channels()
+	cpuChan := make([]int, len(a.Modules))
+	backChan := make([]int, len(a.Modules))
+	directChan := -1
+	l2DRAMChan := -1
+	for i := range backChan {
+		backChan[i] = -1
+	}
+	for ci, ch := range channels {
+		switch ch.Kind {
+		case mem.ChanCPUModule:
+			cpuChan[ch.Module] = ci
+		case mem.ChanModuleDRAM, mem.ChanModuleL2:
+			backChan[ch.Module] = ci
+		case mem.ChanCPUDRAM:
+			directChan = ci
+		case mem.ChanL2DRAM:
+			l2DRAMChan = ci
+		}
+	}
+	// Idealized fetch path: DRAM row-hit latency only (L2 hit latency
+	// when an L2 shields the modules).
+	for mi, m := range a.Modules {
+		if backChan[mi] != -1 {
+			if a.L2 != nil {
+				m.SetFetchLatency(a.L2.Latency())
+			} else {
+				m.SetFetchLatency(a.DRAM.RowHitCycles)
+			}
+		}
+	}
+	res := &MemOnlyResult{ChannelBytes: make([]int64, len(channels))}
+	var now int64
+	for _, acc := range t.Accesses {
+		res.Accesses++
+		route := a.RouteOf(acc.DS)
+		if route == mem.DirectDRAM {
+			res.Misses++
+			res.OffChipBytes += int64(acc.Size)
+			res.ChannelBytes[directChan] += int64(acc.Size)
+			res.ModuleEnergyNJ += a.DRAM.Energy()
+			now += int64(a.DRAM.AccessLatency(acc.Addr)) + 1
+			continue
+		}
+		m := a.Modules[route]
+		res.ChannelBytes[cpuChan[route]] += int64(acc.Size)
+		r := m.Access(acc, now)
+		res.ModuleEnergyNJ += m.Energy()
+		if r.Hit {
+			res.Hits++
+			now += int64(m.Latency()+r.Stall) + 1
+		} else {
+			res.Misses++
+			now += int64(m.Latency()) + int64(a.DRAM.AccessLatency(acc.Addr)) + 1
+		}
+		traffic := r.OffChipBytes + r.PrefetchBytes
+		if traffic > 0 && backChan[route] != -1 {
+			res.ChannelBytes[backChan[route]] += int64(traffic)
+			if a.L2 != nil {
+				lr := a.L2.Access(acc, now)
+				res.ModuleEnergyNJ += a.L2.Energy()
+				if lr.OffChipBytes > 0 && l2DRAMChan != -1 {
+					res.OffChipBytes += int64(lr.OffChipBytes)
+					res.ChannelBytes[l2DRAMChan] += int64(lr.OffChipBytes)
+					res.ModuleEnergyNJ += a.DRAM.Energy()
+				}
+			} else {
+				res.OffChipBytes += int64(traffic)
+				res.ModuleEnergyNJ += a.DRAM.Energy()
+			}
+		}
+	}
+	return res, nil
+}

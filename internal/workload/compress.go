@@ -1,0 +1,286 @@
+package workload
+
+import (
+	"memorex/internal/trace"
+)
+
+// Compress is the SPEC95 "compress" stand-in: LZW compression with an
+// open-addressed hash table, as in the original compress(1). The probe
+// sequence of the hash table depends on the entry value that was just
+// loaded, which is exactly the "self-indirect" access pattern the paper's
+// linked-list/DMA-like memory modules target. The input and output byte
+// buffers are classic stream patterns.
+type Compress struct{}
+
+func init() { register(Compress{}) }
+
+// Name implements Workload.
+func (Compress) Name() string { return "compress" }
+
+// LZW parameters, following compress(1)'s 16-bit configuration scaled
+// down: maxBits code width and an HSIZE-entry open hash table.
+const (
+	lzwMaxBits   = 14
+	lzwMaxCode   = 1<<lzwMaxBits - 1
+	lzwHsize     = 18013 // prime, ~1.1x max codes, like compress's 69001 for 16 bits
+	lzwFirstCode = 257
+	lzwClear     = 256
+)
+
+// Generate implements Workload. It compresses a synthetic Zipf-ish text
+// corpus, recording every access to the hash table (htab), the code
+// table (codetab), the input buffer (in) and the output buffer (out).
+func (Compress) Generate(cfg Config) *trace.Trace {
+	input := corpus(cfg)
+	b := trace.NewBuilder("compress", len(input)*6)
+
+	// Data-structure layout mirrors compress(1):
+	//   htab:    HSIZE x int32 fcodes (hashed, self-indirect probing)
+	//   codetab: HSIZE x uint16 codes (accessed with htab)
+	//   in:      the input text (stream)
+	//   out:     the emitted code stream (stream)
+	htabID, _ := b.Region("htab", lzwHsize*4, 4)
+	codetabID, _ := b.Region("codetab", lzwHsize*2, 2)
+	inID, _ := b.Region("in", uint32(len(input)), 1)
+	outSize := uint32(len(input))*2 + 16
+	outID, _ := b.Region("out", outSize, 2)
+
+	htab := make([]int32, lzwHsize)
+	codetab := make([]uint16, lzwHsize)
+	clear := func() {
+		for i := range htab {
+			htab[i] = -1
+		}
+	}
+	clear()
+
+	var outPos uint32
+	emit := func(code uint16) {
+		if outPos+2 <= outSize {
+			b.Store(outID, outPos, 2)
+		}
+		outPos += 2
+	}
+
+	freeCode := uint16(lzwFirstCode)
+
+	// ent is the current prefix code.
+	b.Load(inID, 0, 1)
+	ent := uint16(input[0])
+	for i := 1; i < len(input); i++ {
+		b.Load(inID, uint32(i), 1)
+		c := uint16(input[i])
+		fcode := int32(c)<<lzwMaxBits + int32(ent)
+		h := (uint32(c)<<6 ^ uint32(ent)) % lzwHsize
+		disp := uint32(1)
+		if h != 0 {
+			disp = lzwHsize - h
+		}
+		found := false
+		for {
+			b.Load(htabID, h*4, 4) // probe: load the fcode stored at h
+			v := htab[h]
+			if v == fcode {
+				b.Load(codetabID, h*2, 2)
+				ent = codetab[h]
+				found = true
+				break
+			}
+			if v < 0 {
+				break
+			}
+			// Secondary probe: the next slot depends on the current
+			// slot position (value-dependent walk, self-indirect).
+			if h < disp {
+				h += lzwHsize
+			}
+			h -= disp
+		}
+		if found {
+			continue
+		}
+		emit(ent)
+		if freeCode <= lzwMaxCode {
+			b.Store(codetabID, h*2, 2)
+			b.Store(htabID, h*4, 4)
+			codetab[h] = freeCode
+			htab[h] = fcode
+			freeCode++
+		} else {
+			// Table full: emit a clear code and reset, as compress does
+			// when the compression ratio drops.
+			emit(lzwClear)
+			clear()
+			freeCode = lzwFirstCode
+		}
+		ent = c
+	}
+	emit(ent)
+
+	return b.Build()
+}
+
+// CompressBytes runs plain (uninstrumented) LZW with the same parameters
+// and returns the emitted code sequence. It exists so tests can check the
+// algorithm against a reference decoder: the instrumented trace is only
+// credible if the underlying algorithm really compresses.
+func CompressBytes(input []byte) []uint16 {
+	if len(input) == 0 {
+		return nil
+	}
+	htab := make([]int32, lzwHsize)
+	codetab := make([]uint16, lzwHsize)
+	clear := func() {
+		for i := range htab {
+			htab[i] = -1
+		}
+	}
+	clear()
+	var out []uint16
+	freeCode := uint16(lzwFirstCode)
+	ent := uint16(input[0])
+	for i := 1; i < len(input); i++ {
+		c := uint16(input[i])
+		fcode := int32(c)<<lzwMaxBits + int32(ent)
+		h := (uint32(c)<<6 ^ uint32(ent)) % lzwHsize
+		disp := uint32(1)
+		if h != 0 {
+			disp = lzwHsize - h
+		}
+		found := false
+		for {
+			v := htab[h]
+			if v == fcode {
+				ent = codetab[h]
+				found = true
+				break
+			}
+			if v < 0 {
+				break
+			}
+			if h < disp {
+				h += lzwHsize
+			}
+			h -= disp
+		}
+		if found {
+			continue
+		}
+		out = append(out, ent)
+		if freeCode <= lzwMaxCode {
+			codetab[h] = freeCode
+			htab[h] = fcode
+			freeCode++
+		} else {
+			out = append(out, lzwClear)
+			clear()
+			freeCode = lzwFirstCode
+		}
+		ent = c
+	}
+	out = append(out, ent)
+	return out
+}
+
+// DecompressCodes is the reference LZW decoder matching CompressBytes.
+func DecompressCodes(codes []uint16) []byte {
+	if len(codes) == 0 {
+		return nil
+	}
+	type entry struct {
+		prefix uint16
+		suffix byte
+		isByte bool
+	}
+	var dict []entry
+	reset := func() {
+		dict = make([]entry, 256, lzwMaxCode+1)
+		for i := range dict {
+			dict[i] = entry{suffix: byte(i), isByte: true}
+		}
+		dict = append(dict, entry{}) // 256: clear
+	}
+	reset()
+
+	expand := func(code uint16) []byte {
+		var rev []byte
+		for {
+			e := dict[code]
+			rev = append(rev, e.suffix)
+			if e.isByte {
+				break
+			}
+			code = e.prefix
+		}
+		for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+			rev[i], rev[j] = rev[j], rev[i]
+		}
+		return rev
+	}
+
+	var out []byte
+	prev := int32(-1)
+	for _, code := range codes {
+		if code == lzwClear {
+			reset()
+			prev = -1
+			continue
+		}
+		var chunk []byte
+		switch {
+		case int(code) < len(dict):
+			chunk = expand(code)
+		case int(code) == len(dict) && prev >= 0:
+			// KwKwK case: code not yet in dict.
+			p := expand(uint16(prev))
+			chunk = append(p, p[0])
+		default:
+			// Corrupt stream; bail with what we have.
+			return out
+		}
+		if prev >= 0 && len(dict) <= lzwMaxCode {
+			dict = append(dict, entry{prefix: uint16(prev), suffix: chunk[0]})
+		}
+		out = append(out, chunk...)
+		prev = int32(code)
+	}
+	return out
+}
+
+// corpus generates the synthetic input text: words drawn from a Zipf-like
+// distribution with punctuation and line structure, giving LZW a
+// realistic ~2-3x compression ratio.
+func corpus(cfg Config) []byte {
+	rng := newRNG(cfg.Seed)
+	words := make([][]byte, 512)
+	letters := []byte("etaoinshrdlucmfwypvbgkjqxz")
+	for i := range words {
+		n := 2 + rng.intn(9)
+		w := make([]byte, n)
+		for j := range w {
+			// Bias toward frequent letters.
+			w[j] = letters[rng.intn(len(letters))/(1+rng.intn(3))]
+		}
+		words[i] = w
+	}
+	size := 60_000 * cfg.Scale
+	if size <= 0 {
+		size = 60_000
+	}
+	out := make([]byte, 0, size)
+	col := 0
+	for len(out) < size {
+		// Zipf-ish: quadratic skew toward low word indices.
+		idx := rng.intn(len(words)) * rng.intn(len(words)) / len(words)
+		w := words[idx]
+		out = append(out, w...)
+		col += len(w) + 1
+		if col > 70 {
+			out = append(out, '\n')
+			col = 0
+		} else {
+			out = append(out, ' ')
+		}
+	}
+	return out[:size]
+}

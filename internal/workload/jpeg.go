@@ -1,0 +1,133 @@
+package workload
+
+import (
+	"memorex/internal/trace"
+)
+
+// JPEGEnc is an extension workload beyond the paper's three benchmarks:
+// a JPEG-style image encoder front end. Per 8x8 block it performs a
+// separable integer DCT, quantization against a hot 64-entry table,
+// zigzag reordering through an index table, and run-length/entropy
+// coding into an output stream. The pattern mix differs usefully from
+// the GSM vocoder: blocked 2-D strides on the image, an indexed
+// permutation, and tiny hot tables.
+type JPEGEnc struct{}
+
+func init() { register(JPEGEnc{}) }
+
+// Name implements Workload.
+func (JPEGEnc) Name() string { return "jpegenc" }
+
+const (
+	jpegW = 256
+	jpegH = 64
+)
+
+// zigzag is the standard JPEG coefficient order.
+var zigzag = [64]uint8{
+	0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5,
+	12, 19, 26, 33, 40, 48, 41, 34, 27, 20, 13, 6, 7, 14, 21, 28,
+	35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51,
+	58, 59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
+}
+
+// Generate implements Workload.
+func (JPEGEnc) Generate(cfg Config) *trace.Trace {
+	frames := 4 * cfg.Scale
+	if frames <= 0 {
+		frames = 4
+	}
+	rng := newRNG(cfg.Seed)
+
+	b := trace.NewBuilder("jpegenc", frames*jpegW*jpegH*8)
+	imageID, _ := b.Region("image", jpegW*jpegH, 1)
+	blockID, _ := b.Region("block", 64*4, 4)
+	qtabID, _ := b.Region("qtab", 64*2, 2)
+	zigID, _ := b.Region("zigzag", 64, 1)
+	outID, _ := b.Region("outbits", uint32(frames*jpegW*jpegH/2+64), 1)
+
+	// Synthetic image: smooth gradients plus noise, regenerated per
+	// frame (a video-ish stream).
+	img := make([]int32, jpegW*jpegH)
+	qtab := [64]int32{}
+	for i := range qtab {
+		qtab[i] = int32(8 + (i/8+i%8)*3) // coarser for high frequencies
+		b.Store(qtabID, uint32(i*2), 2)
+	}
+	for i, z := range zigzag {
+		_ = z
+		b.Store(zigID, uint32(i), 1)
+	}
+
+	block := [64]int32{}
+	tmp := [64]int32{}
+	var outPos uint32
+	outSize := uint32(frames*jpegW*jpegH/2 + 64)
+	emit := func() {
+		if outPos < outSize {
+			b.Store(outID, outPos, 1)
+		}
+		outPos++
+	}
+
+	var checksum int64
+	for f := 0; f < frames; f++ {
+		for i := range img {
+			x, y := i%jpegW, i/jpegW
+			img[i] = int32((x+y*2+f*5)%255) + int32(rng.intn(17)) - 8
+		}
+		for by := 0; by < jpegH; by += 8 {
+			for bx := 0; bx < jpegW; bx += 8 {
+				// Load the 8x8 block (2-D strided reads).
+				for y := 0; y < 8; y++ {
+					for x := 0; x < 8; x++ {
+						idx := (by+y)*jpegW + bx + x
+						b.Load(imageID, uint32(idx), 1)
+						block[y*8+x] = img[idx] - 128
+						b.Store(blockID, uint32((y*8+x)*4), 4)
+					}
+				}
+				// Separable integer "DCT": rows then columns of a
+				// butterfly-ish transform (hot block buffer traffic).
+				for y := 0; y < 8; y++ {
+					for x := 0; x < 8; x++ {
+						b.Load(blockID, uint32((y*8+x)*4), 4)
+						tmp[y*8+x] = block[y*8+x] + block[y*8+(7-x)]*int32(1-2*(x&1))
+					}
+				}
+				for x := 0; x < 8; x++ {
+					for y := 0; y < 8; y++ {
+						v := tmp[y*8+x] + tmp[(7-y)*8+x]*int32(1-2*(y&1))
+						block[y*8+x] = v >> 1
+						b.Store(blockID, uint32((y*8+x)*4), 4)
+					}
+				}
+				// Quantize + zigzag + run-length emit.
+				run := 0
+				for i := 0; i < 64; i++ {
+					b.Load(zigID, uint32(i), 1)
+					zi := int(zigzag[i])
+					b.Load(blockID, uint32(zi*4), 4)
+					b.Load(qtabID, uint32(zi*2), 2)
+					q := block[zi] / qtab[zi]
+					if q == 0 {
+						run++
+						continue
+					}
+					for run > 15 {
+						emit()
+						run -= 16
+					}
+					emit()
+					run = 0
+					checksum += int64(q)
+				}
+				emit() // end-of-block
+			}
+		}
+	}
+	if checksum == 0 {
+		panic("jpegenc: zero checksum (pipeline broken)")
+	}
+	return b.Build()
+}

@@ -1,0 +1,486 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+
+	"memorex/internal/trace"
+)
+
+// Li is the SPEC95 "li" (xlisp) stand-in: a small but real list-processing
+// interpreter. Its memory behaviour is dominated by cons-cell pointer
+// chasing on the heap (car/cdr chains and assoc-list environments — the
+// self-indirect pattern), hashed symbol-table probes, and an evaluation
+// stack. The interpreter parses and evaluates genuine s-expression
+// programs (recursive list builders, reversal, fibonacci).
+type Li struct{}
+
+func init() { register(Li{}) }
+
+// Name implements Workload.
+func (Li) Name() string { return "li" }
+
+// Value encoding: tag in the low 3 bits, payload above.
+type lival uint32
+
+const (
+	tagNil lival = iota
+	tagNum
+	tagPair
+	tagSym
+	tagBuiltin
+	tagClosure
+)
+
+const livalTagBits = 3
+
+func mk(tag lival, payload uint32) lival { return tag | lival(payload<<livalTagBits) }
+
+func (v lival) tag() lival      { return v & (1<<livalTagBits - 1) }
+func (v lival) payload() uint32 { return uint32(v) >> livalTagBits }
+
+// num payload is a biased signed integer so small negatives survive.
+const numBias = 1 << 24
+
+func mkNum(n int) lival     { return mk(tagNum, uint32(n+numBias)) }
+func (v lival) num() int    { return int(v.payload()) - numBias }
+func (v lival) idx() uint32 { return v.payload() }
+
+const (
+	liHeapCells  = 1 << 18 // cons cells per generation
+	liSymSlots   = 1024
+	liSymBytes   = 16
+	liStackSlots = 1 << 14
+)
+
+// liMachine is the interpreter state plus trace instrumentation.
+type liMachine struct {
+	b *trace.Builder
+
+	heapID  trace.DSID
+	symID   trace.DSID
+	stackID trace.DSID
+
+	cars, cdrs []lival
+	alloc      uint32 // next free cell
+	highwater  uint32 // cells holding permanent structure (programs, globals)
+
+	symNames []string
+	symVals  []lival
+	symUsed  []bool
+
+	sp uint32 // eval stack depth (slots)
+
+	builtins []func(m *liMachine, args lival) lival
+}
+
+func newLiMachine(b *trace.Builder) *liMachine {
+	m := &liMachine{b: b}
+	m.heapID, _ = b.Region("heap", liHeapCells*8, 8)
+	m.symID, _ = b.Region("symtab", liSymSlots*liSymBytes, liSymBytes)
+	m.stackID, _ = b.Region("stack", liStackSlots*8, 8)
+	m.cars = make([]lival, liHeapCells)
+	m.cdrs = make([]lival, liHeapCells)
+	m.symNames = make([]string, liSymSlots)
+	m.symVals = make([]lival, liSymSlots)
+	m.symUsed = make([]bool, liSymSlots)
+	return m
+}
+
+func (m *liMachine) cons(car, cdr lival) lival {
+	if m.alloc >= liHeapCells {
+		panic("li: heap exhausted (increase liHeapCells)")
+	}
+	c := m.alloc
+	m.alloc++
+	m.cars[c] = car
+	m.cdrs[c] = cdr
+	m.b.Store(m.heapID, c*8, 4)
+	m.b.Store(m.heapID, c*8+4, 4)
+	return mk(tagPair, c)
+}
+
+func (m *liMachine) car(v lival) lival {
+	if v.tag() != tagPair && v.tag() != tagClosure {
+		panic(fmt.Sprintf("li: car of non-pair %v", v.tag()))
+	}
+	m.b.Load(m.heapID, v.idx()*8, 4)
+	return m.cars[v.idx()]
+}
+
+func (m *liMachine) cdr(v lival) lival {
+	if v.tag() != tagPair && v.tag() != tagClosure {
+		panic(fmt.Sprintf("li: cdr of non-pair %v", v.tag()))
+	}
+	m.b.Load(m.heapID, v.idx()*8+4, 4)
+	return m.cdrs[v.idx()]
+}
+
+// intern returns the symbol for name, probing the hashed symbol table the
+// way xlisp's oblist lookup does.
+func (m *liMachine) intern(name string) lival {
+	h := uint32(2166136261)
+	for i := 0; i < len(name); i++ {
+		h = (h ^ uint32(name[i])) * 16777619
+	}
+	slot := h % liSymSlots
+	for {
+		m.b.Load(m.symID, slot*liSymBytes, 4)
+		if !m.symUsed[slot] {
+			m.symUsed[slot] = true
+			m.symNames[slot] = name
+			m.symVals[slot] = mk(tagNil, 1) // unbound marker
+			m.b.Store(m.symID, slot*liSymBytes, 4)
+			return mk(tagSym, slot)
+		}
+		if m.symNames[slot] == name {
+			return mk(tagSym, slot)
+		}
+		slot = (slot + 1) % liSymSlots
+	}
+}
+
+func (m *liMachine) globalGet(sym lival) lival {
+	m.b.Load(m.symID, sym.idx()*liSymBytes+4, 4)
+	return m.symVals[sym.idx()]
+}
+
+func (m *liMachine) globalSet(sym, val lival) {
+	m.b.Store(m.symID, sym.idx()*liSymBytes+4, 4)
+	m.symVals[sym.idx()] = val
+}
+
+func (m *liMachine) push() {
+	if m.sp < liStackSlots {
+		m.b.Store(m.stackID, m.sp*8, 8)
+	}
+	m.sp++
+}
+
+func (m *liMachine) pop() {
+	m.sp--
+	if m.sp < liStackSlots {
+		m.b.Load(m.stackID, m.sp*8, 8)
+	}
+}
+
+// --- reader ---------------------------------------------------------------
+
+type liReader struct {
+	src []string // tokens
+	pos int
+}
+
+func tokenize(s string) []string {
+	s = strings.ReplaceAll(s, "(", " ( ")
+	s = strings.ReplaceAll(s, ")", " ) ")
+	s = strings.ReplaceAll(s, "'", " ' ")
+	return strings.Fields(s)
+}
+
+// read parses one s-expression into heap structure.
+func (m *liMachine) read(r *liReader) lival {
+	if r.pos >= len(r.src) {
+		panic("li: unexpected end of program")
+	}
+	tok := r.src[r.pos]
+	r.pos++
+	switch tok {
+	case "(":
+		items := []lival{}
+		for {
+			if r.pos >= len(r.src) {
+				panic("li: unterminated list")
+			}
+			if r.src[r.pos] == ")" {
+				r.pos++
+				break
+			}
+			items = append(items, m.read(r))
+		}
+		lst := lival(tagNil)
+		for i := len(items) - 1; i >= 0; i-- {
+			lst = m.cons(items[i], lst)
+		}
+		return lst
+	case ")":
+		panic("li: unexpected )")
+	case "'":
+		return m.list2(m.intern("quote"), m.read(r))
+	default:
+		if n, ok := parseInt(tok); ok {
+			return mkNum(n)
+		}
+		return m.intern(tok)
+	}
+}
+
+func parseInt(s string) (int, bool) {
+	if s == "" {
+		return 0, false
+	}
+	neg := false
+	i := 0
+	if s[0] == '-' {
+		if len(s) == 1 {
+			return 0, false
+		}
+		neg = true
+		i = 1
+	}
+	n := 0
+	for ; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return 0, false
+		}
+		n = n*10 + int(s[i]-'0')
+	}
+	if neg {
+		n = -n
+	}
+	return n, true
+}
+
+func (m *liMachine) list2(a, b lival) lival { return m.cons(a, m.cons(b, lival(tagNil))) }
+
+// --- evaluator --------------------------------------------------------------
+
+// closures are (params body env) triples stored as heap pairs, with the
+// value re-tagged tagClosure so apply can distinguish them from lists.
+func (m *liMachine) mkClosure(params, body, env lival) lival {
+	cell := m.cons(params, m.cons(body, m.cons(env, lival(tagNil))))
+	return mk(tagClosure, cell.idx())
+}
+
+var errUnbound = "li: unbound symbol %s"
+
+// lookup walks the assoc-list environment, then falls back to the symbol
+// table's global value cell — the two flavours of xlisp binding lookup.
+func (m *liMachine) lookup(sym, env lival) lival {
+	for e := env; e.tag() == tagPair; e = m.cdr(e) {
+		pair := m.car(e)
+		if m.car(pair) == sym {
+			return m.cdr(pair)
+		}
+	}
+	v := m.globalGet(sym)
+	if v == mk(tagNil, 1) {
+		panic(fmt.Sprintf(errUnbound, m.symNames[sym.idx()]))
+	}
+	return v
+}
+
+func (m *liMachine) eval(expr, env lival) lival {
+	m.push()
+	defer m.pop()
+
+	switch expr.tag() {
+	case tagNum, tagNil, tagBuiltin, tagClosure:
+		return expr
+	case tagSym:
+		return m.lookup(expr, env)
+	}
+	// A pair: special form or application.
+	head := m.car(expr)
+	if head.tag() == tagSym {
+		switch m.symNames[head.idx()] {
+		case "quote":
+			return m.car(m.cdr(expr))
+		case "if":
+			cond := m.eval(m.car(m.cdr(expr)), env)
+			if cond != lival(tagNil) && cond != mkNum(0) {
+				return m.eval(m.car(m.cdr(m.cdr(expr))), env)
+			}
+			rest := m.cdr(m.cdr(m.cdr(expr)))
+			if rest.tag() != tagPair {
+				return lival(tagNil)
+			}
+			return m.eval(m.car(rest), env)
+		case "lambda":
+			return m.mkClosure(m.car(m.cdr(expr)), m.car(m.cdr(m.cdr(expr))), env)
+		case "define":
+			sym := m.car(m.cdr(expr))
+			val := m.eval(m.car(m.cdr(m.cdr(expr))), env)
+			m.globalSet(sym, val)
+			return sym
+		case "begin":
+			var v lival
+			for e := m.cdr(expr); e.tag() == tagPair; e = m.cdr(e) {
+				v = m.eval(m.car(e), env)
+			}
+			return v
+		}
+	}
+	// Application: evaluate operator and operands.
+	fn := m.eval(head, env)
+	var args lival = lival(tagNil)
+	var tail lival
+	for e := m.cdr(expr); e.tag() == tagPair; e = m.cdr(e) {
+		cell := m.cons(m.eval(m.car(e), env), lival(tagNil))
+		if args == lival(tagNil) {
+			args = cell
+		} else {
+			m.cdrs[tail.idx()] = cell
+			m.b.Store(m.heapID, tail.idx()*8+4, 4)
+		}
+		tail = cell
+	}
+	return m.apply(fn, args, env)
+}
+
+func (m *liMachine) apply(fn, args, _ lival) lival {
+	switch fn.tag() {
+	case tagBuiltin:
+		return m.builtins[fn.idx()](m, args)
+	case tagClosure:
+		cell := mk(tagPair, fn.idx())
+		params := m.car(cell)
+		body := m.car(m.cdr(cell))
+		env := m.car(m.cdr(m.cdr(cell)))
+		for p := params; p.tag() == tagPair; p = m.cdr(p) {
+			if args.tag() != tagPair {
+				panic("li: too few arguments")
+			}
+			env = m.cons(m.cons(m.car(p), m.car(args)), env)
+			args = m.cdr(args)
+		}
+		return m.eval(body, env)
+	default:
+		panic("li: apply of non-function")
+	}
+}
+
+func (m *liMachine) defBuiltin(name string, f func(m *liMachine, args lival) lival) {
+	idx := uint32(len(m.builtins))
+	m.builtins = append(m.builtins, f)
+	m.globalSet(m.intern(name), mk(tagBuiltin, idx))
+}
+
+func (m *liMachine) arg1(args lival) lival { return m.car(args) }
+func (m *liMachine) arg2(args lival) (lival, lival) {
+	return m.car(args), m.car(m.cdr(args))
+}
+
+func (m *liMachine) installBuiltins() {
+	m.defBuiltin("cons", func(m *liMachine, a lival) lival {
+		x, y := m.arg2(a)
+		return m.cons(x, y)
+	})
+	m.defBuiltin("car", func(m *liMachine, a lival) lival { return m.car(m.arg1(a)) })
+	m.defBuiltin("cdr", func(m *liMachine, a lival) lival { return m.cdr(m.arg1(a)) })
+	m.defBuiltin("+", func(m *liMachine, a lival) lival {
+		x, y := m.arg2(a)
+		return mkNum(x.num() + y.num())
+	})
+	m.defBuiltin("-", func(m *liMachine, a lival) lival {
+		x, y := m.arg2(a)
+		return mkNum(x.num() - y.num())
+	})
+	m.defBuiltin("*", func(m *liMachine, a lival) lival {
+		x, y := m.arg2(a)
+		return mkNum(x.num() * y.num())
+	})
+	m.defBuiltin("<", func(m *liMachine, a lival) lival {
+		x, y := m.arg2(a)
+		if x.num() < y.num() {
+			return mkNum(1)
+		}
+		return lival(tagNil)
+	})
+	m.defBuiltin("=", func(m *liMachine, a lival) lival {
+		x, y := m.arg2(a)
+		if x.num() == y.num() {
+			return mkNum(1)
+		}
+		return lival(tagNil)
+	})
+	m.defBuiltin("null?", func(m *liMachine, a lival) lival {
+		if m.arg1(a) == lival(tagNil) {
+			return mkNum(1)
+		}
+		return lival(tagNil)
+	})
+}
+
+// liProgram is the benchmark program: recursive list construction,
+// accumulator reversal, list summation and naive fibonacci — the classic
+// xlisp-benchmark mix of deep recursion and long cdr chains.
+const liProgram = `
+(define iota  (lambda (n) (if (= n 0) '() (cons n (iota (- n 1))))))
+(define rev   (lambda (l a) (if (null? l) a (rev (cdr l) (cons (car l) a)))))
+(define sum   (lambda (l) (if (null? l) 0 (+ (car l) (sum (cdr l))))))
+(define len   (lambda (l) (if (null? l) 0 (+ 1 (len (cdr l))))))
+(define app   (lambda (x y) (if (null? x) y (cons (car x) (app (cdr x) y)))))
+(define fib   (lambda (n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2))))))
+(define take  (lambda (l n) (if (= n 0) '() (cons (car l) (take (cdr l) (- n 1))))))
+`
+
+const liDriver = `
+(begin
+  (define l (iota 120))
+  (define r (rev l '()))
+  (define a (app l r))
+  (+ (+ (sum a) (len a)) (+ (fib 13) (sum (take a 60)))))
+`
+
+// Generate implements Workload.
+func (Li) Generate(cfg Config) *trace.Trace {
+	b := trace.NewBuilder("li", 1<<20)
+	m := newLiMachine(b)
+	m.installBuiltins()
+
+	// Load the program (permanent structure below the highwater mark).
+	r := &liReader{src: tokenize(liProgram)}
+	for r.pos < len(r.src) {
+		m.eval(m.read(r), lival(tagNil))
+	}
+	m.highwater = m.alloc
+
+	iters := 12 * cfg.Scale
+	if iters <= 0 {
+		iters = 12
+	}
+	var check int
+	for i := 0; i < iters; i++ {
+		dr := &liReader{src: tokenize(liDriver)}
+		expr := m.read(dr)
+		v := m.eval(expr, lival(tagNil))
+		check += v.num()
+		// "Garbage collect": everything above the permanent structure is
+		// dead between top-level iterations (xlisp would reclaim it).
+		m.alloc = m.highwater
+	}
+	if check == 0 {
+		panic("li: benchmark checksum is zero (interpreter broken)")
+	}
+	return b.Build()
+}
+
+// EvalString parses and evaluates src in a fresh interpreter and returns
+// the numeric result of the last expression. Used by tests to verify the
+// interpreter is a real evaluator and by the pattern_lab example.
+func EvalString(src string) (int, error) {
+	b := trace.NewBuilder("li-eval", 1024)
+	m := newLiMachine(b)
+	m.installBuiltins()
+	var result lival
+	var err error
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("li: %v", r)
+			}
+		}()
+		rd := &liReader{src: tokenize(src)}
+		for rd.pos < len(rd.src) {
+			result = m.eval(m.read(rd), lival(tagNil))
+		}
+	}()
+	if err != nil {
+		return 0, err
+	}
+	if result.tag() != tagNum {
+		return 0, fmt.Errorf("li: result is not a number (tag %d)", result.tag())
+	}
+	return result.num(), nil
+}

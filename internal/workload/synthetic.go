@@ -1,0 +1,79 @@
+package workload
+
+import (
+	"memorex/internal/trace"
+)
+
+// Synthetic single-pattern generators. These are not paper benchmarks;
+// they exist so that the profiler's pattern classifier and the memory
+// module models can be tested against known ground truth, and so that the
+// pattern_lab example can demonstrate classification.
+
+// SyntheticKind selects the access pattern a synthetic trace exhibits.
+type SyntheticKind int
+
+// Supported synthetic patterns.
+const (
+	SynStream       SyntheticKind = iota // stride-1 sequential sweep
+	SynStrided                           // constant stride > element
+	SynSelfIndirect                      // value-dependent pointer chain
+	SynIndexed                           // a[b[i]] style indexed gather
+	SynRandom                            // uniform random
+)
+
+// Synthetic generates a trace with n accesses of the given pattern over a
+// region of the given size (bytes, rounded up to 4-byte elements).
+func Synthetic(kind SyntheticKind, n int, size uint32, seed int64) *trace.Trace {
+	if size < 64 {
+		size = 64
+	}
+	elems := size / 4
+	rng := newRNG(seed)
+	b := trace.NewBuilder("synthetic", n)
+	id, _ := b.Region("data", elems*4, 4)
+	var idxID trace.DSID
+	var idxTable []uint32
+	if kind == SynIndexed {
+		idxID, _ = b.Region("index", elems*4, 4)
+		idxTable = make([]uint32, elems)
+		for i := range idxTable {
+			idxTable[i] = uint32(rng.intn(int(elems)))
+		}
+	}
+	// Pointer chain for self-indirect: a random permutation cycle.
+	var next []uint32
+	if kind == SynSelfIndirect {
+		perm := make([]uint32, elems)
+		for i := range perm {
+			perm[i] = uint32(i)
+		}
+		for i := len(perm) - 1; i > 0; i-- {
+			j := rng.intn(i + 1)
+			perm[i], perm[j] = perm[j], perm[i]
+		}
+		next = make([]uint32, elems)
+		for i := 0; i < len(perm); i++ {
+			next[perm[i]] = perm[(i+1)%len(perm)]
+		}
+	}
+
+	cur := uint32(0)
+	for i := 0; i < n; i++ {
+		switch kind {
+		case SynStream:
+			b.Load(id, (uint32(i)%elems)*4, 4)
+		case SynStrided:
+			b.Load(id, ((uint32(i)*7)%elems)*4, 4)
+		case SynSelfIndirect:
+			b.Load(id, cur*4, 4)
+			cur = next[cur]
+		case SynIndexed:
+			k := uint32(i) % elems
+			b.Load(idxID, k*4, 4)
+			b.Load(id, idxTable[k]*4, 4)
+		case SynRandom:
+			b.Load(id, uint32(rng.intn(int(elems)))*4, 4)
+		}
+	}
+	return b.Build()
+}

@@ -1,0 +1,196 @@
+package workload
+
+import (
+	"memorex/internal/trace"
+)
+
+// Vocoder is the GSM voice-encoder stand-in: a frame-based linear
+// predictive coding pipeline. Per 160-sample frame it performs
+// preemphasis and Hamming-style windowing, computes the autocorrelation
+// sequence, derives reflection coefficients with the Schur/Levinson
+// recursion, quantizes them through a codebook search, runs a long-term
+// prediction lag search over the history buffer, and emits the coded
+// parameters. The pattern mix is the paper's "stream-dominated"
+// multimedia profile: sequential sample streams, small hot coefficient
+// arrays, and an indexed codebook.
+type Vocoder struct{}
+
+func init() { register(Vocoder{}) }
+
+// Name implements Workload.
+func (Vocoder) Name() string { return "vocoder" }
+
+const (
+	vocFrame    = 160 // samples per frame (GSM full rate)
+	vocOrder    = 8   // LPC order
+	vocCodebook = 256 // quantizer entries
+	vocHistory  = 3 * vocFrame
+	vocLagMin   = 40
+	vocLagMax   = 120
+)
+
+// Generate implements Workload.
+func (Vocoder) Generate(cfg Config) *trace.Trace {
+	frames := 40 * cfg.Scale
+	if frames <= 0 {
+		frames = 40
+	}
+	rng := newRNG(cfg.Seed)
+
+	b := trace.NewBuilder("vocoder", frames*vocFrame*24)
+
+	speechID, _ := b.Region("speech", uint32(frames*vocFrame*2), 2)
+	windowID, _ := b.Region("window", vocFrame*2, 2)
+	workID, _ := b.Region("work", vocFrame*4, 4)
+	corrID, _ := b.Region("autocorr", (vocOrder+1)*4, 4)
+	lpcID, _ := b.Region("lpc", (vocOrder+1)*4*3, 4) // k, p, and quantized rows
+	cbID, _ := b.Region("codebook", vocCodebook*4, 4)
+	histID, _ := b.Region("history", vocHistory*2, 2)
+	outID, _ := b.Region("outbits", uint32(frames*64), 1)
+
+	// Synthetic speech: a sum of two slow sinusoid-ish oscillators plus
+	// noise, integer-only to stay deterministic across platforms.
+	speech := make([]int32, frames*vocFrame)
+	var ph1, ph2 int32
+	for i := range speech {
+		ph1 += 211
+		ph2 += 67
+		speech[i] = tri(ph1)/2 + tri(ph2)/3 + int32(rng.intn(257)-128)
+	}
+
+	window := make([]int32, vocFrame)
+	for i := range window {
+		// Triangular window approximating Hamming for integer math.
+		d := int32(i) - vocFrame/2
+		if d < 0 {
+			d = -d
+		}
+		window[i] = 1024 - 12*d
+		b.Store(windowID, uint32(i*2), 2)
+	}
+
+	codebook := make([]int32, vocCodebook)
+	for i := range codebook {
+		codebook[i] = int32(i*257 - 32768)
+		b.Store(cbID, uint32(i*4), 4)
+	}
+
+	history := make([]int32, vocHistory)
+	work := make([]int32, vocFrame)
+	corr := make([]int64, vocOrder+1)
+	kcoef := make([]int32, vocOrder+1)
+	var outPos uint32
+	outSize := uint32(frames * 64)
+	emit := func(v int32) {
+		_ = v
+		if outPos < outSize {
+			b.Store(outID, outPos, 1)
+		}
+		outPos++
+	}
+
+	var checksum int64
+	prev := int32(0)
+	for f := 0; f < frames; f++ {
+		base := f * vocFrame
+		// 1. Preemphasis + windowing: stream read of speech, stream
+		// read of window coefficients, stream write of work buffer.
+		for i := 0; i < vocFrame; i++ {
+			b.Load(speechID, uint32((base+i)*2), 2)
+			s := speech[base+i]
+			pre := s - (prev*15)/16
+			prev = s
+			b.Load(windowID, uint32(i*2), 2)
+			w := (pre * window[i]) >> 10
+			work[i] = w
+			b.Store(workID, uint32(i*4), 4)
+		}
+		// 2. Autocorrelation: for each lag, stream the work buffer.
+		for k := 0; k <= vocOrder; k++ {
+			var acc int64
+			for i := k; i < vocFrame; i++ {
+				b.Load(workID, uint32(i*4), 4)
+				b.Load(workID, uint32((i-k)*4), 4)
+				acc += int64(work[i]) * int64(work[i-k])
+			}
+			corr[k] = acc >> 8
+			b.Store(corrID, uint32(k*4), 4)
+		}
+		if corr[0] == 0 {
+			corr[0] = 1
+		}
+		// 3. Schur recursion for reflection coefficients (hot small arrays).
+		p := make([]int64, vocOrder+1)
+		copy(p, corr)
+		for k := 1; k <= vocOrder; k++ {
+			b.Load(corrID, uint32(k*4), 4)
+			den := p[0]
+			if den == 0 {
+				den = 1
+			}
+			kk := -(p[k] << 10) / den
+			kcoef[k] = int32(kk)
+			b.Store(lpcID, uint32(k*4), 4)
+			for j := k; j <= vocOrder; j++ {
+				b.Load(lpcID, uint32((vocOrder+1+j)*4), 4)
+				p[j] = p[j] + (kk*p[j-0])>>10 // damped update keeps integers bounded
+				b.Store(lpcID, uint32((vocOrder+1+j)*4), 4)
+			}
+		}
+		// 4. Scalar quantization of each coefficient: binary codebook
+		// search (indexed pattern with data-dependent pivots).
+		for k := 1; k <= vocOrder; k++ {
+			lo, hi := 0, vocCodebook-1
+			target := kcoef[k]
+			for lo < hi {
+				mid := (lo + hi) / 2
+				b.Load(cbID, uint32(mid*4), 4)
+				if codebook[mid] < target {
+					lo = mid + 1
+				} else {
+					hi = mid
+				}
+			}
+			b.Store(lpcID, uint32((2*(vocOrder+1)+k)*4), 4)
+			emit(int32(lo & 0xFF))
+			checksum += int64(lo)
+		}
+		// 5. Long-term prediction: search the history buffer for the lag
+		// with maximum correlation (stream reads at varying offsets).
+		bestLag, bestScore := vocLagMin, int64(-1<<62)
+		for lag := vocLagMin; lag <= vocLagMax; lag += 2 {
+			var score int64
+			for i := 0; i < vocFrame; i += 4 {
+				b.Load(workID, uint32(i*4), 4)
+				hidx := (vocHistory - lag + i) % vocHistory
+				b.Load(histID, uint32(hidx*2), 2)
+				score += int64(work[i]) * int64(history[hidx])
+			}
+			if score > bestScore {
+				bestScore, bestLag = score, lag
+			}
+		}
+		emit(int32(bestLag))
+		checksum += int64(bestLag)
+		// 6. Update history with the current frame (stream write).
+		copy(history, history[vocFrame:])
+		for i := 0; i < vocFrame; i++ {
+			history[vocHistory-vocFrame+i] = work[i]
+			b.Store(histID, uint32((vocHistory-vocFrame+i)*2), 2)
+		}
+	}
+	if checksum == 0 {
+		panic("vocoder: zero checksum (pipeline broken)")
+	}
+	return b.Build()
+}
+
+// tri is a triangle-wave oscillator on a 1024-step phase accumulator,
+// returning values in roughly [-4096, 4096].
+func tri(phase int32) int32 {
+	p := phase & 1023
+	if p < 512 {
+		return (p - 256) * 16
+	}
+	return (768 - p) * 16
+}

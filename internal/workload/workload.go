@@ -1,0 +1,101 @@
+// Package workload provides the benchmark applications that drive the
+// exploration, standing in for the paper's SHADE-traced SPEC95 and GSM
+// binaries. Each workload is a real, runnable algorithm instrumented to
+// emit a memory-access trace for its principal data structures:
+//
+//   - Compress: LZW compression (SPEC95 "compress" stand-in) — hash-table
+//     probing whose probe sequence depends on loaded values
+//     (self-indirect), code tables, and input/output byte streams.
+//   - Li: a small list-processing interpreter (SPEC95 "li"/xlisp stand-in)
+//     — cons-cell pointer chasing, assoc-list environments, symbol table,
+//     evaluation stack.
+//   - Vocoder: a GSM-style voice-encoder frame pipeline — speech sample
+//     streams, windowing/autocorrelation/LPC kernels, codebook search.
+//
+// The package also provides synthetic single-pattern generators used by
+// unit tests and by the pattern_lab example.
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"memorex/internal/trace"
+)
+
+// Config parameterizes trace generation. The zero value is not useful;
+// use DefaultConfig.
+type Config struct {
+	// Scale multiplies the amount of work (input bytes, interpreted
+	// expressions, speech frames). Scale 1 produces traces in the
+	// hundreds of thousands of accesses.
+	Scale int
+	// Seed makes the synthetic inputs reproducible.
+	Seed int64
+}
+
+// DefaultConfig returns the configuration used by the paper-reproduction
+// experiments: deterministic, moderate-length traces.
+func DefaultConfig() Config { return Config{Scale: 1, Seed: 42} }
+
+// Workload is a benchmark application that can generate a memory trace.
+type Workload interface {
+	// Name returns the benchmark name used in tables ("compress", ...).
+	Name() string
+	// Generate runs the application and returns its memory trace.
+	Generate(cfg Config) *trace.Trace
+}
+
+var registry = map[string]Workload{}
+
+func register(w Workload) {
+	registry[w.Name()] = w
+}
+
+// ByName returns the registered workload with the given name.
+func ByName(name string) (Workload, error) {
+	w, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown benchmark %q (have %v)", name, Names())
+	}
+	return w, nil
+}
+
+// Names returns the registered workload names in sorted order.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// xorshift64 is a tiny deterministic PRNG used by the workloads so that
+// traces do not depend on math/rand version behaviour.
+type xorshift64 uint64
+
+func newRNG(seed int64) *xorshift64 {
+	x := xorshift64(seed)
+	if x == 0 {
+		x = 0x9E3779B97F4A7C15
+	}
+	return &x
+}
+
+func (x *xorshift64) next() uint64 {
+	v := uint64(*x)
+	v ^= v << 13
+	v ^= v >> 7
+	v ^= v << 17
+	*x = xorshift64(v)
+	return v
+}
+
+// intn returns a value in [0, n).
+func (x *xorshift64) intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(x.next() % uint64(n))
+}

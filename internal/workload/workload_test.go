@@ -1,0 +1,272 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestRegistry(t *testing.T) {
+	names := Names()
+	// The paper's three benchmarks plus the jpegenc extension.
+	want := []string{"compress", "jpegenc", "li", "vocoder"}
+	if len(names) != len(want) {
+		t.Fatalf("registered workloads = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("registered workloads = %v, want %v", names, want)
+		}
+	}
+	for _, n := range want {
+		w, err := ByName(n)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", n, err)
+		}
+		if w.Name() != n {
+			t.Fatalf("ByName(%q).Name() = %q", n, w.Name())
+		}
+	}
+	if _, err := ByName("nonesuch"); err == nil {
+		t.Fatal("ByName accepted an unknown benchmark")
+	}
+}
+
+func TestTracesValidateAndAreDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			w, _ := ByName(name)
+			tr1 := w.Generate(cfg)
+			if err := tr1.Validate(); err != nil {
+				t.Fatalf("invalid trace: %v", err)
+			}
+			if tr1.NumAccesses() < 50_000 {
+				t.Fatalf("trace too short to be interesting: %d accesses", tr1.NumAccesses())
+			}
+			tr2 := w.Generate(cfg)
+			if tr1.NumAccesses() != tr2.NumAccesses() {
+				t.Fatalf("nondeterministic length: %d vs %d", tr1.NumAccesses(), tr2.NumAccesses())
+			}
+			for i := range tr1.Accesses {
+				if tr1.Accesses[i] != tr2.Accesses[i] {
+					t.Fatalf("nondeterministic access at %d", i)
+				}
+			}
+		})
+	}
+}
+
+func TestScaleGrowsTrace(t *testing.T) {
+	w, _ := ByName("vocoder")
+	small := w.Generate(Config{Scale: 1, Seed: 1})
+	big := w.Generate(Config{Scale: 2, Seed: 1})
+	if big.NumAccesses() < small.NumAccesses()*3/2 {
+		t.Fatalf("Scale=2 did not grow trace: %d vs %d", big.NumAccesses(), small.NumAccesses())
+	}
+}
+
+func TestCompressDataStructures(t *testing.T) {
+	tr := Compress{}.Generate(DefaultConfig())
+	names := map[string]bool{}
+	for _, d := range tr.DS {
+		names[d.Name] = true
+	}
+	for _, want := range []string{"htab", "codetab", "in", "out"} {
+		if !names[want] {
+			t.Fatalf("compress trace missing data structure %q (have %v)", want, tr.DS)
+		}
+	}
+	counts := tr.CountByDS()
+	// htab probing should dominate the work per input byte.
+	var htab, in int64
+	for i, d := range tr.DS {
+		switch d.Name {
+		case "htab":
+			htab = counts[i]
+		case "in":
+			in = counts[i]
+		}
+	}
+	if htab < in {
+		t.Fatalf("htab accesses (%d) should exceed input reads (%d)", htab, in)
+	}
+}
+
+func TestLZWRoundTrip(t *testing.T) {
+	inputs := [][]byte{
+		[]byte("TOBEORNOTTOBEORTOBEORNOT"),
+		[]byte(""),
+		[]byte("a"),
+		[]byte("aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa"),
+		corpus(Config{Scale: 1, Seed: 7})[:20000],
+	}
+	for i, in := range inputs {
+		codes := CompressBytes(in)
+		got := DecompressCodes(codes)
+		if !bytes.Equal(got, in) {
+			t.Fatalf("case %d: round trip failed (in %d bytes, out %d bytes)", i, len(in), len(got))
+		}
+	}
+}
+
+func TestLZWCompresses(t *testing.T) {
+	in := corpus(Config{Scale: 1, Seed: 42})
+	codes := CompressBytes(in)
+	// 2 bytes per code; a real corpus should compress below 80% of input.
+	ratio := float64(len(codes)*2) / float64(len(in))
+	if ratio > 0.8 {
+		t.Fatalf("LZW achieved ratio %.2f, expected < 0.8 (not really compressing)", ratio)
+	}
+}
+
+func TestLiEvaluator(t *testing.T) {
+	cases := []struct {
+		src  string
+		want int
+	}{
+		{"(+ 1 2)", 3},
+		{"(- 10 4)", 6},
+		{"(* 6 7)", 42},
+		{"(if (< 1 2) 10 20)", 10},
+		{"(if (< 2 1) 10 20)", 20},
+		{"((lambda (x) (* x x)) 9)", 81},
+		{"(define sq (lambda (x) (* x x))) (sq 12)", 144},
+		{"(define fib (lambda (n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))) (fib 10)", 55},
+		{"(car (cons 5 '()))", 5},
+		{"(define sum (lambda (l) (if (null? l) 0 (+ (car l) (sum (cdr l)))))) (sum '(1 2 3 4 5))", 15},
+		{"(begin 1 2 3)", 3},
+		{"-7", -7},
+		{"(+ -3 5)", 2},
+	}
+	for _, c := range cases {
+		got, err := EvalString(c.src)
+		if err != nil {
+			t.Fatalf("EvalString(%q): %v", c.src, err)
+		}
+		if got != c.want {
+			t.Fatalf("EvalString(%q) = %d, want %d", c.src, got, c.want)
+		}
+	}
+}
+
+func TestLiEvaluatorErrors(t *testing.T) {
+	for _, src := range []string{
+		"(undefined-symbol)",
+		"(car 5)",
+		"(",
+		")",
+		"((lambda (x y) x) 1)",
+	} {
+		if _, err := EvalString(src); err == nil {
+			t.Fatalf("EvalString(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestLiTraceHasPointerChasing(t *testing.T) {
+	tr := Li{}.Generate(DefaultConfig())
+	counts := tr.CountByDS()
+	byName := map[string]int64{}
+	for i, d := range tr.DS {
+		byName[d.Name] = counts[i]
+	}
+	if byName["heap"] == 0 || byName["symtab"] == 0 || byName["stack"] == 0 {
+		t.Fatalf("li trace missing expected structures: %v", byName)
+	}
+	if byName["heap"] < byName["symtab"] {
+		t.Fatalf("heap traffic (%d) should dominate symtab traffic (%d)", byName["heap"], byName["symtab"])
+	}
+}
+
+func TestVocoderStreamDominated(t *testing.T) {
+	tr := Vocoder{}.Generate(DefaultConfig())
+	counts := tr.CountByDS()
+	byName := map[string]int64{}
+	for i, d := range tr.DS {
+		byName[d.Name] = counts[i]
+	}
+	for _, want := range []string{"speech", "work", "codebook", "history", "outbits"} {
+		if byName[want] == 0 {
+			t.Fatalf("vocoder trace missing accesses to %q: %v", want, byName)
+		}
+	}
+	if byName["work"] < byName["codebook"] {
+		t.Fatal("work-buffer streaming should dominate codebook lookups")
+	}
+}
+
+func TestSyntheticPatterns(t *testing.T) {
+	for _, k := range []SyntheticKind{SynStream, SynStrided, SynSelfIndirect, SynIndexed, SynRandom} {
+		tr := Synthetic(k, 10_000, 4096, 3)
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("kind %d: invalid trace: %v", k, err)
+		}
+		if tr.NumAccesses() < 10_000 {
+			t.Fatalf("kind %d: too few accesses %d", k, tr.NumAccesses())
+		}
+	}
+}
+
+func TestSyntheticStreamIsSequential(t *testing.T) {
+	tr := Synthetic(SynStream, 1000, 1<<20, 1)
+	for i := 1; i < 1000; i++ {
+		if tr.Accesses[i].Addr != tr.Accesses[i-1].Addr+4 {
+			t.Fatalf("stream trace not sequential at %d", i)
+		}
+	}
+}
+
+func TestSyntheticSelfIndirectCoversRegion(t *testing.T) {
+	tr := Synthetic(SynSelfIndirect, 4096/4, 4096, 9)
+	seen := map[uint32]bool{}
+	for _, a := range tr.Accesses {
+		seen[a.Addr] = true
+	}
+	// A permutation cycle visits every element exactly once per lap.
+	if len(seen) != 4096/4 {
+		t.Fatalf("self-indirect chain visited %d distinct elements, want %d", len(seen), 4096/4)
+	}
+}
+
+func TestXorshiftDeterministic(t *testing.T) {
+	a, b := newRNG(5), newRNG(5)
+	for i := 0; i < 100; i++ {
+		if a.next() != b.next() {
+			t.Fatal("xorshift not deterministic")
+		}
+	}
+	z := newRNG(0)
+	if z.next() == 0 {
+		t.Fatal("zero seed must be remapped")
+	}
+	if newRNG(1).intn(0) != 0 || newRNG(1).intn(-3) != 0 {
+		t.Fatal("intn of non-positive bound should be 0")
+	}
+}
+
+func TestJPEGEncTrace(t *testing.T) {
+	tr := JPEGEnc{}.Generate(DefaultConfig())
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("invalid trace: %v", err)
+	}
+	counts := tr.CountByDS()
+	byName := map[string]int64{}
+	for i, d := range tr.DS {
+		byName[d.Name] = counts[i]
+	}
+	for _, want := range []string{"image", "block", "qtab", "zigzag", "outbits"} {
+		if byName[want] == 0 {
+			t.Fatalf("jpegenc trace missing accesses to %q: %v", want, byName)
+		}
+	}
+	// The block working buffer dominates (DCT is compute-local).
+	if byName["block"] < byName["image"] {
+		t.Fatal("block-buffer traffic should dominate image reads")
+	}
+	// Deterministic.
+	tr2 := JPEGEnc{}.Generate(DefaultConfig())
+	if tr.NumAccesses() != tr2.NumAccesses() {
+		t.Fatal("jpegenc nondeterministic")
+	}
+}

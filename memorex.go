@@ -1,0 +1,166 @@
+// Package memorex is the public entry point of the MemorEx memory-system
+// exploration environment, a reproduction of "Memory System Connectivity
+// Exploration" (Grun, Dutt, Nicolau — DATE 2002).
+//
+// The pipeline mirrors the paper's Figure 1:
+//
+//  1. A benchmark application (compress, li, vocoder — or your own
+//     trace) is profiled into per-data-structure access patterns.
+//  2. APEX explores memory-modules architectures (caches + pattern-
+//     matched SRAMs, stream buffers, and self-indirect DMA modules) and
+//     selects the most promising cost/miss-ratio designs.
+//  3. ConEx explores, for each selected memory architecture, the mapping
+//     of its communication channels onto components of a connectivity IP
+//     library (AMBA AHB/ASB/APB, MUX-based and dedicated links, off-chip
+//     busses), estimating candidates with time-sampled simulation and
+//     fully simulating only the most promising designs.
+//
+// The result is a set of memory+connectivity design points with their
+// cost (gates), performance (average memory latency) and power (energy
+// per access), plus the pareto fronts and constrained-scenario
+// selections the designer trades off.
+package memorex
+
+import (
+	"fmt"
+
+	"memorex/internal/apex"
+	"memorex/internal/connect"
+	"memorex/internal/core"
+	"memorex/internal/mem"
+	"memorex/internal/pareto"
+	"memorex/internal/profile"
+	"memorex/internal/sampling"
+	"memorex/internal/trace"
+	"memorex/internal/workload"
+)
+
+// Re-exported types: the stable public surface over the internal
+// packages.
+type (
+	// Trace is a memory-access trace (see the trace package for the
+	// builder and binary codec).
+	Trace = trace.Trace
+	// Profile holds per-data-structure access-pattern statistics.
+	Profile = profile.Profile
+	// APEXConfig bounds the memory-modules design space.
+	APEXConfig = apex.Config
+	// APEXResult is the memory-modules exploration outcome.
+	APEXResult = apex.Result
+	// ConExConfig parameterizes the connectivity exploration.
+	ConExConfig = core.Config
+	// ConExResult is the connectivity exploration outcome.
+	ConExResult = core.Result
+	// DesignPoint is one evaluated memory+connectivity design.
+	DesignPoint = core.DesignPoint
+	// Point is a design point in the (cost, latency, energy) space.
+	Point = pareto.Point
+	// MemArchitecture is a memory-modules architecture.
+	MemArchitecture = mem.Architecture
+	// ConnComponent is one connectivity IP library entry.
+	ConnComponent = connect.Component
+	// ConnArch is a connectivity architecture (clusters + assignment).
+	ConnArch = connect.Arch
+	// SamplingConfig controls the time-sampling estimator.
+	SamplingConfig = sampling.Config
+	// WorkloadConfig controls benchmark trace generation.
+	WorkloadConfig = workload.Config
+)
+
+// Options configures a full exploration run.
+type Options struct {
+	// Workload selects the benchmark ("compress", "li", "vocoder").
+	Workload string
+	// WorkloadConfig scales the benchmark (DefaultOptions uses the
+	// paper-reproduction defaults).
+	WorkloadConfig workload.Config
+	// APEX bounds the memory-modules exploration.
+	APEX apex.Config
+	// ConEx parameterizes the connectivity exploration.
+	ConEx core.Config
+}
+
+// DefaultOptions returns the configuration the paper-reproduction
+// experiments use for the given benchmark.
+func DefaultOptions(benchmark string) Options {
+	return Options{
+		Workload:       benchmark,
+		WorkloadConfig: workload.DefaultConfig(),
+		APEX:           apex.DefaultConfig(),
+		ConEx:          core.DefaultConfig(),
+	}
+}
+
+// Benchmarks returns the available benchmark names.
+func Benchmarks() []string { return workload.Names() }
+
+// Report is the outcome of a full exploration run.
+type Report struct {
+	Options Options
+	Trace   *trace.Trace
+	Profile *profile.Profile
+	APEX    *apex.Result
+	ConEx   *core.Result
+}
+
+// Explore runs the full pipeline: trace generation, profiling, APEX and
+// ConEx.
+func Explore(opt Options) (*Report, error) {
+	t, err := GenerateTrace(opt.Workload, opt.WorkloadConfig)
+	if err != nil {
+		return nil, err
+	}
+	return ExploreTrace(t, opt)
+}
+
+// GenerateTrace runs the named benchmark and returns its memory trace.
+func GenerateTrace(benchmark string, cfg workload.Config) (*trace.Trace, error) {
+	w, err := workload.ByName(benchmark)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Scale <= 0 {
+		cfg = workload.DefaultConfig()
+	}
+	return w.Generate(cfg), nil
+}
+
+// ExploreTrace runs profiling, APEX and ConEx on an existing trace.
+func ExploreTrace(t *trace.Trace, opt Options) (*Report, error) {
+	if t.NumAccesses() == 0 {
+		return nil, fmt.Errorf("memorex: empty trace")
+	}
+	prof := profile.Analyze(t)
+	apexRes, err := apex.Explore(t, prof, opt.APEX)
+	if err != nil {
+		return nil, fmt.Errorf("memorex: APEX failed: %w", err)
+	}
+	archs := make([]*mem.Architecture, 0, len(apexRes.Selected))
+	for _, dp := range apexRes.Selected {
+		archs = append(archs, dp.Arch)
+	}
+	conexRes, err := core.Explore(t, archs, opt.ConEx)
+	if err != nil {
+		return nil, fmt.Errorf("memorex: ConEx failed: %w", err)
+	}
+	return &Report{Options: opt, Trace: t, Profile: prof, APEX: apexRes, ConEx: conexRes}, nil
+}
+
+// The paper's three constrained-selection scenarios over a report's
+// fully simulated designs.
+
+// PowerConstrained returns the cost/latency front under an energy cap.
+func (r *Report) PowerConstrained(maxEnergyNJ float64) []Point {
+	return pareto.PowerConstrained(r.ConEx.Points(), maxEnergyNJ)
+}
+
+// CostConstrained returns the latency/energy front under a gate cap.
+func (r *Report) CostConstrained(maxGates float64) []Point {
+	return pareto.CostConstrained(r.ConEx.Points(), maxGates)
+}
+
+// PerformanceConstrained returns the cost/energy front under a latency
+// cap.
+func (r *Report) PerformanceConstrained(maxLatency float64) []Point {
+	return pareto.PerformanceConstrained(r.ConEx.Points(), maxLatency)
+}

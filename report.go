@@ -1,0 +1,71 @@
+package memorex
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"memorex/internal/core"
+)
+
+// DesignJSON is the serialized form of one explored design point, the
+// interchange format for downstream tooling (spreadsheets, plotting).
+type DesignJSON struct {
+	Memory       string  `json:"memory"`
+	Connectivity string  `json:"connectivity"`
+	CostGates    float64 `json:"cost_gates"`
+	LatencyCyc   float64 `json:"latency_cycles_per_access"`
+	EnergyNJ     float64 `json:"energy_nj_per_access"`
+	OnFront      bool    `json:"on_cost_perf_front"`
+}
+
+// ReportJSON is the serialized form of an exploration report.
+type ReportJSON struct {
+	Benchmark string       `json:"benchmark"`
+	Accesses  int          `json:"trace_accesses"`
+	Designs   []DesignJSON `json:"designs"`
+}
+
+// WriteJSON serializes the fully simulated design points of the report.
+func (r *Report) WriteJSON(w io.Writer) error {
+	out := ReportJSON{
+		Benchmark: r.Options.Workload,
+		Accesses:  r.Trace.NumAccesses(),
+	}
+	onFront := map[*core.DesignPoint]bool{}
+	for i := range r.ConEx.CostPerfFront {
+		for j := range r.ConEx.Combined {
+			c := &r.ConEx.Combined[j]
+			if c.Cost == r.ConEx.CostPerfFront[i].Cost &&
+				c.Latency == r.ConEx.CostPerfFront[i].Latency &&
+				c.Energy == r.ConEx.CostPerfFront[i].Energy {
+				onFront[c] = true
+			}
+		}
+	}
+	for i := range r.ConEx.Combined {
+		dp := &r.ConEx.Combined[i]
+		out.Designs = append(out.Designs, DesignJSON{
+			Memory:       dp.MemArch.Describe(r.Trace),
+			Connectivity: dp.Conn.Describe(dp.MemArch),
+			CostGates:    dp.Cost,
+			LatencyCyc:   dp.Latency,
+			EnergyNJ:     dp.Energy,
+			OnFront:      onFront[dp],
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ReadReportJSON parses a report previously written with WriteJSON.
+func ReadReportJSON(r io.Reader) (*ReportJSON, error) {
+	var out ReportJSON
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&out); err != nil {
+		return nil, fmt.Errorf("memorex: parsing report: %w", err)
+	}
+	return &out, nil
+}
