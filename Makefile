@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: build test race vet bench check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+# check is the gate a change must pass before review: formatting is
+# clean, vet finds nothing, and the whole suite passes under the race
+# detector.
+check: vet
+	@fmt=$$(gofmt -l .); if [ -n "$$fmt" ]; then echo "gofmt needed:"; echo "$$fmt"; exit 1; fi
+	$(GO) test -race ./...

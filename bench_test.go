@@ -12,11 +12,13 @@ package memorex
 // For paper-sized runs use cmd/paperbench -preset paper.
 
 import (
+	"context"
 	"testing"
 
 	"memorex/internal/apex"
 	"memorex/internal/connect"
 	"memorex/internal/core"
+	"memorex/internal/engine"
 	"memorex/internal/experiments"
 	"memorex/internal/explore"
 	"memorex/internal/mem"
@@ -26,12 +28,22 @@ import (
 	"memorex/internal/workload"
 )
 
+// freshQuick returns the Quick preset with a fresh evaluation engine, so
+// every benchmark iteration performs real simulation work instead of
+// replaying the previous iteration from the memoization cache.
+func freshQuick() experiments.Options {
+	opt := experiments.Quick()
+	opt.ConEx.Engine = engine.New(0)
+	return opt
+}
+
 // BenchmarkFigure3 regenerates Figure 3: the APEX memory-modules
 // exploration of compress (cost vs miss-ratio pareto).
 func BenchmarkFigure3(b *testing.B) {
-	opt := experiments.Quick()
+	opt := freshQuick()
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Figure3(opt)
+		opt.ConEx.Engine = engine.New(0)
+		res, err := experiments.Figure3(context.Background(), opt)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -45,9 +57,10 @@ func BenchmarkFigure3(b *testing.B) {
 // BenchmarkFigure4 regenerates Figure 4: the ConEx connectivity
 // exploration cloud and its latency improvement for compress.
 func BenchmarkFigure4(b *testing.B) {
-	opt := experiments.Quick()
+	opt := freshQuick()
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Figure4(opt)
+		opt.ConEx.Engine = engine.New(0)
+		res, err := experiments.Figure4(context.Background(), opt)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -60,9 +73,10 @@ func BenchmarkFigure4(b *testing.B) {
 // architectures of compress and their gain over the best traditional
 // cache design.
 func BenchmarkFigure6(b *testing.B) {
-	opt := experiments.Quick()
+	opt := freshQuick()
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Figure6(opt)
+		opt.ConEx.Engine = engine.New(0)
+		res, err := experiments.Figure6(context.Background(), opt)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -75,9 +89,10 @@ func BenchmarkFigure6(b *testing.B) {
 // compress exploration (paper Section 4's cost/power and
 // performance/power trade-off spaces).
 func BenchmarkFigureEnergy(b *testing.B) {
-	opt := experiments.Quick()
+	opt := freshQuick()
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.FigureEnergy(opt)
+		opt.ConEx.Engine = engine.New(0)
+		res, err := experiments.FigureEnergy(context.Background(), opt)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -89,9 +104,10 @@ func BenchmarkFigureEnergy(b *testing.B) {
 // BenchmarkTable1 regenerates Table 1: selected cost/performance designs
 // with cost, latency and energy for compress, li and vocoder.
 func BenchmarkTable1(b *testing.B) {
-	opt := experiments.Quick()
+	opt := freshQuick()
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Table1(opt)
+		opt.ConEx.Engine = engine.New(0)
+		res, err := experiments.Table1(context.Background(), opt)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -104,9 +120,10 @@ func BenchmarkTable1(b *testing.B) {
 // BenchmarkTable2 regenerates Table 2: pareto coverage and average
 // distance of the Pruned and Neighborhood strategies vs Full.
 func BenchmarkTable2(b *testing.B) {
-	opt := experiments.Quick()
+	opt := freshQuick()
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Table2(opt)
+		opt.ConEx.Engine = engine.New(0)
+		res, err := experiments.Table2(context.Background(), opt)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -168,7 +185,7 @@ func BenchmarkAblationClustering(b *testing.B) {
 	cfg.MaxAssignPerLevel = 24
 	for i := 0; i < b.N; i++ {
 		// Hierarchical: all levels.
-		points, _, _, err := core.ConnectivityExploration(tr.Trace, arch, cfg)
+		points, _, _, err := core.ConnectivityExploration(context.Background(), tr.Trace, arch, cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -296,11 +313,11 @@ func BenchmarkAblationPrune(b *testing.B) {
 	cfg.MaxAssignPerLevel = 8
 	cfg.KeepPerArch = 4
 	for i := 0; i < b.N; i++ {
-		full, err := explore.Run(tr.Trace, space, explore.Full, cfg)
+		full, err := explore.Run(context.Background(), tr.Trace, space, explore.Full, cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
-		pruned, err := explore.Run(tr.Trace, space, explore.Pruned, cfg)
+		pruned, err := explore.Run(context.Background(), tr.Trace, space, explore.Pruned, cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -387,6 +404,32 @@ func BenchmarkAblationL2(b *testing.B) {
 		}
 		b.ReportMetric(lat[0]/lat[1], "latency-speedup-x")
 		b.ReportMetric(float64(offBytes[0])/float64(offBytes[1]), "offchip-reduction-x")
+	}
+}
+
+// BenchmarkEngineMemoization measures what the evaluation engine's
+// memoization cache buys: the Figure 4 pipeline run twice on a shared
+// engine, where the second pass revisits the design points of the first
+// and is served from the cache. cache-hit-% and sims-per-eval quantify
+// the reduction in simulation work versus requests issued.
+func BenchmarkEngineMemoization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		opt := freshQuick()
+		for pass := 0; pass < 2; pass++ {
+			if _, err := experiments.Figure4(context.Background(), opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+		st := opt.ConEx.Engine.Stats()
+		if st.CacheHits == 0 {
+			b.Fatal("second pass produced no cache hits")
+		}
+		if st.Simulations >= st.Requests {
+			b.Fatalf("memoization saved nothing: %d simulations for %d requests",
+				st.Simulations, st.Requests)
+		}
+		b.ReportMetric(100*float64(st.CacheHits)/float64(st.Requests), "cache-hit-%")
+		b.ReportMetric(float64(st.Simulations)/float64(st.Requests), "sims-per-eval")
 	}
 }
 

@@ -9,9 +9,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 	"sort"
 	"strings"
 
@@ -72,7 +75,9 @@ func main() {
 		fmt.Println()
 	}
 
-	points, work, dropped, err := core.ConnectivityExploration(tr, arch, opt.ConEx)
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancel()
+	points, work, dropped, err := core.ConnectivityExploration(ctx, tr, arch, opt.ConEx)
 	if err != nil {
 		log.Fatal(err)
 	}

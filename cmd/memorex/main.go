@@ -5,15 +5,19 @@
 //
 // Usage:
 //
-//	memorex [-bench compress|li|vocoder] [-scale N] [-seed N]
+//	memorex [-bench compress|li|vocoder] [-scale N] [-seed N] [-workers N]
 //	        [-keep N] [-cap N] [-scenario power|cost|perf] [-limit V]
+//
+// Ctrl-C cancels the exploration between design-point evaluations.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -28,6 +32,7 @@ func main() {
 	bench := flag.String("bench", "compress", "benchmark: "+strings.Join(memorex.Benchmarks(), ", "))
 	scale := flag.Int("scale", 1, "workload scale factor")
 	seed := flag.Int64("seed", 42, "workload seed")
+	workers := flag.Int("workers", 0, "evaluation worker pool size (0 = all CPUs)")
 	keep := flag.Int("keep", 8, "locally promising designs kept per memory architecture")
 	assignCap := flag.Int("cap", 192, "max connectivity assignments per clustering level")
 	scenario := flag.String("scenario", "", "constrained selection: power, cost or perf")
@@ -57,6 +62,8 @@ func main() {
 	opt := memorex.DefaultOptions(*bench)
 	opt.WorkloadConfig.Scale = *scale
 	opt.WorkloadConfig.Seed = *seed
+	opt.ConEx.Workers = *workers
+	opt.ConEx.Engine = memorex.NewEngine(*workers)
 	opt.ConEx.KeepPerArch = *keep
 	opt.ConEx.MaxAssignPerLevel = *assignCap
 	if *libPath != "" {
@@ -73,8 +80,10 @@ func main() {
 		fmt.Printf("using connectivity library %s (%d components)\n", *libPath, len(lib))
 	}
 
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancel()
 	start := time.Now()
-	rep, err := memorex.Explore(opt)
+	rep, err := memorex.Explore(ctx, opt)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -161,4 +170,5 @@ func main() {
 	fmt.Printf("\nexploration work: %d sampled + %d simulated accesses in %v\n",
 		rep.ConEx.EstimatedAccesses, rep.ConEx.SimulatedAccesses,
 		time.Since(start).Round(time.Millisecond))
+	fmt.Println(rep.EngineStats())
 }

@@ -3,14 +3,23 @@
 //
 // Usage:
 //
-//	paperbench [-exp fig3|fig4|fig6|tab1|tab2|all] [-preset paper|quick]
+//	paperbench [-exp fig3|fig4|fig6|fige|tab1|tab2|all] [-preset paper|quick]
+//	           [-workers N] [-stats]
+//
+// The figure experiments share one evaluation engine, so design points
+// simulated for an earlier figure are served from the memoization cache
+// when a later one revisits them; -stats prints the engine counters
+// (simulations, cache hits, per-phase wall time) after each experiment.
+// Ctrl-C cancels the run between design-point evaluations.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"time"
 
 	"memorex/internal/experiments"
@@ -21,6 +30,8 @@ func main() {
 	log.SetPrefix("paperbench: ")
 	exp := flag.String("exp", "all", "experiment to run: fig3, fig4, fig6, fige, tab1, tab2, all")
 	preset := flag.String("preset", "paper", "sizing preset: paper or quick")
+	workers := flag.Int("workers", 0, "evaluation worker pool size (0 = all CPUs)")
+	stats := flag.Bool("stats", true, "print evaluation-engine statistics after each experiment")
 	flag.Parse()
 
 	var opt experiments.Options
@@ -32,17 +43,28 @@ func main() {
 	default:
 		log.Fatalf("unknown preset %q", *preset)
 	}
+	if *workers != 0 {
+		opt.ConEx.Workers = *workers
+		opt.ConEx.Engine = nil // rebuilt below with the requested bound
+		opt.Table2ConEx.Workers = *workers
+	}
+	if opt.ConEx.Engine == nil {
+		opt.ConEx.Engine = opt.ConEx.EngineOrNew()
+	}
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancel()
 
 	runners := []struct {
 		name string
 		run  func() (fmt.Stringer, error)
 	}{
-		{"fig3", func() (fmt.Stringer, error) { return experiments.Figure3(opt) }},
-		{"fig4", func() (fmt.Stringer, error) { return experiments.Figure4(opt) }},
-		{"fig6", func() (fmt.Stringer, error) { return experiments.Figure6(opt) }},
-		{"fige", func() (fmt.Stringer, error) { return experiments.FigureEnergy(opt) }},
-		{"tab1", func() (fmt.Stringer, error) { return experiments.Table1(opt) }},
-		{"tab2", func() (fmt.Stringer, error) { return experiments.Table2(opt) }},
+		{"fig3", func() (fmt.Stringer, error) { return experiments.Figure3(ctx, opt) }},
+		{"fig4", func() (fmt.Stringer, error) { return experiments.Figure4(ctx, opt) }},
+		{"fig6", func() (fmt.Stringer, error) { return experiments.Figure6(ctx, opt) }},
+		{"fige", func() (fmt.Stringer, error) { return experiments.FigureEnergy(ctx, opt) }},
+		{"tab1", func() (fmt.Stringer, error) { return experiments.Table1(ctx, opt) }},
+		{"tab2", func() (fmt.Stringer, error) { return experiments.Table2(ctx, opt) }},
 	}
 
 	ran := false
@@ -58,6 +80,9 @@ func main() {
 		}
 		fmt.Printf("==== %s (%s preset, %v) ====\n%s\n", r.name, *preset,
 			time.Since(start).Round(time.Millisecond), res)
+		if *stats {
+			fmt.Printf("---- %s\n\n", opt.Engine().Stats())
+		}
 	}
 	if !ran {
 		log.Printf("unknown experiment %q", *exp)

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -59,7 +60,7 @@ func main() {
 	opt.ConEx.MaxAssignPerLevel = 48
 	opt.ConEx.KeepPerArch = 6
 
-	report, err := memorex.Explore(opt)
+	report, err := memorex.Explore(context.Background(), opt)
 	if err != nil {
 		log.Fatal(err)
 	}

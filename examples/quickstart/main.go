@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -19,7 +20,7 @@ func main() {
 	opt.ConEx.MaxAssignPerLevel = 64
 	opt.ConEx.KeepPerArch = 6
 
-	report, err := memorex.Explore(opt)
+	report, err := memorex.Explore(context.Background(), opt)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -18,7 +19,7 @@ func main() {
 	opt.ConEx.MaxAssignPerLevel = 64
 	opt.ConEx.KeepPerArch = 8
 
-	report, err := memorex.Explore(opt)
+	report, err := memorex.Explore(context.Background(), opt)
 	if err != nil {
 		log.Fatal(err)
 	}

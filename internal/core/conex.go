@@ -1,11 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
-	"runtime"
-	"sync"
 
 	"memorex/internal/connect"
+	"memorex/internal/engine"
 	"memorex/internal/mem"
 	"memorex/internal/pareto"
 	"memorex/internal/sampling"
@@ -60,8 +60,14 @@ type Config struct {
 	// KeepPerArch is how many locally promising designs each memory
 	// architecture contributes to Phase II.
 	KeepPerArch int
-	// Workers bounds evaluation parallelism (0 = GOMAXPROCS).
+	// Workers bounds evaluation parallelism (0 = engine.DefaultWorkers).
+	// Ignored when Engine is set: the engine's own bound wins.
 	Workers int
+	// Engine, when non-nil, is the shared evaluation engine. Sharing
+	// one engine across explorations lets the memoization cache elide
+	// repeated simulations of equivalent designs. When nil, each
+	// Explore call builds a private engine from Workers.
+	Engine *engine.Engine
 }
 
 // DefaultConfig returns the configuration used by the experiments.
@@ -91,11 +97,13 @@ func (c Config) Validate() error {
 	return nil
 }
 
-func (c Config) workers() int {
-	if c.Workers > 0 {
-		return c.Workers
+// EngineOrNew returns the configured shared engine, or a fresh one
+// bounded by Workers.
+func (c Config) EngineOrNew() *engine.Engine {
+	if c.Engine != nil {
+		return c.Engine
 	}
-	return runtime.GOMAXPROCS(0)
+	return engine.New(c.Workers)
 }
 
 // Result is the outcome of the full ConEx exploration.
@@ -109,12 +117,20 @@ type Result struct {
 	// Combined, ordered by ascending cost.
 	CostPerfFront []DesignPoint
 	// EstimatedAccesses and SimulatedAccesses measure the exploration
-	// work (Phase I sampled accesses and Phase II full-sim accesses).
+	// work (Phase I sampled accesses and Phase II full-sim accesses)
+	// actually performed — designs served from the engine's memo cache
+	// contribute nothing.
 	EstimatedAccesses int64
 	SimulatedAccesses int64
+	// CacheHits counts the evaluations served from the engine's memo
+	// cache during this exploration.
+	CacheHits int64
 	// DroppedAssignments counts assignments skipped by the enumeration
 	// cap (0 = the level cross products were explored exhaustively).
 	DroppedAssignments int64
+	// Stats is a snapshot of the evaluation engine counters taken when
+	// the exploration finished (cumulative when the engine is shared).
+	Stats engine.Stats
 }
 
 // Points returns the combined designs as pareto points.
@@ -126,16 +142,28 @@ func (r *Result) Points() []pareto.Point {
 	return out
 }
 
+// Engine phase labels used by the ConEx loops.
+const (
+	phaseEstimate = "conex/estimate"
+	phaseFullSim  = "conex/full-sim"
+)
+
 // ConnectivityExploration is the per-memory-architecture procedure of
 // Figure 5: build the BRG, walk the clustering hierarchy, enumerate
 // feasible assignments at each level, and estimate every candidate with
 // time-sampled simulation. It returns all estimated design points plus
 // the sampled-access work count and the number of assignments dropped
 // by the enumeration cap.
-func ConnectivityExploration(t *trace.Trace, arch *mem.Architecture, cfg Config) ([]DesignPoint, int64, int64, error) {
+func ConnectivityExploration(ctx context.Context, t *trace.Trace, arch *mem.Architecture, cfg Config) ([]DesignPoint, int64, int64, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, 0, 0, err
 	}
+	return connectivityExploration(ctx, cfg.EngineOrNew(), t, arch, cfg)
+}
+
+// connectivityExploration is ConnectivityExploration on an explicit
+// engine, so Explore shares one engine across phases and architectures.
+func connectivityExploration(ctx context.Context, eng *engine.Engine, t *trace.Trace, arch *mem.Architecture, cfg Config) ([]DesignPoint, int64, int64, error) {
 	brg, err := BuildBRG(t, arch)
 	if err != nil {
 		return nil, 0, 0, err
@@ -147,41 +175,35 @@ func ConnectivityExploration(t *trace.Trace, arch *mem.Architecture, cfg Config)
 		candidates = append(candidates, archs...)
 		dropped += d
 	}
-	points := make([]DesignPoint, len(candidates))
-	errs := make([]error, len(candidates))
-	var work int64
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, cfg.workers())
+	stop := eng.StartPhase(phaseEstimate)
+	defer stop()
+	reqs := make([]engine.Request, len(candidates))
 	for i, conn := range candidates {
-		wg.Add(1)
-		go func(i int, conn *connect.Arch) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			r, simulated, err := sampling.Estimate(t, arch, conn, cfg.Sampling)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			points[i] = DesignPoint{
-				MemArch:   arch,
-				Conn:      conn,
-				Cost:      arch.Gates() + conn.Gates(),
-				Latency:   r.AvgLatency(),
-				Energy:    r.AvgEnergy(),
-				Estimated: true,
-			}
-			mu.Lock()
-			work += simulated
-			mu.Unlock()
-		}(i, conn)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, 0, 0, err
+		reqs[i] = engine.Request{
+			Trace:    t,
+			Mem:      arch,
+			Conn:     conn,
+			Mode:     engine.Sampled,
+			Sampling: cfg.Sampling,
+			Phase:    phaseEstimate,
 		}
+	}
+	vals, err := eng.Evaluate(ctx, reqs)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	points := make([]DesignPoint, len(candidates))
+	var work int64
+	for i, v := range vals {
+		points[i] = DesignPoint{
+			MemArch:   arch,
+			Conn:      candidates[i],
+			Cost:      v.Cost,
+			Latency:   v.Latency,
+			Energy:    v.Energy,
+			Estimated: true,
+		}
+		work += v.Work
 	}
 	return points, work, dropped, nil
 }
@@ -227,20 +249,25 @@ func SelectLocal(points []DesignPoint, keep int) []DesignPoint {
 }
 
 // Explore runs the full two-phase ConEx algorithm over the memory
-// architectures selected by APEX.
-func Explore(t *trace.Trace, memArchs []*mem.Architecture, cfg Config) (*Result, error) {
+// architectures selected by APEX. All design-point evaluations go
+// through the configured engine (cfg.Engine, or a private one), which
+// bounds parallelism, memoizes equivalent designs and honours ctx
+// cancellation.
+func Explore(ctx context.Context, t *trace.Trace, memArchs []*mem.Architecture, cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	if len(memArchs) == 0 {
 		return nil, fmt.Errorf("core: no memory architectures to explore")
 	}
+	eng := cfg.EngineOrNew()
+	before := eng.Stats()
 	res := &Result{}
 
 	// Phase I: per-architecture estimation and local selection.
 	var phase2 []DesignPoint
 	for _, arch := range memArchs {
-		points, work, dropped, err := ConnectivityExploration(t, arch, cfg)
+		points, work, dropped, err := connectivityExploration(ctx, eng, t, arch, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -251,44 +278,47 @@ func Explore(t *trace.Trace, memArchs []*mem.Architecture, cfg Config) (*Result,
 	}
 
 	// Phase II: full simulation of the combined promising set.
-	combined := make([]DesignPoint, len(phase2))
-	errs := make([]error, len(phase2))
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, cfg.workers())
+	stop := eng.StartPhase(phaseFullSim)
+	reqs := make([]engine.Request, len(phase2))
 	for i := range phase2 {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			dp, work, err := FullSimulate(t, phase2[i].MemArch, phase2[i].Conn)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			combined[i] = *dp
-			mu.Lock()
-			res.SimulatedAccesses += work
-			mu.Unlock()
-		}(i)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+		reqs[i] = engine.Request{
+			Trace: t,
+			Mem:   phase2[i].MemArch,
+			Conn:  phase2[i].Conn,
+			Mode:  engine.Full,
+			Phase: phaseFullSim,
 		}
+	}
+	vals, err := eng.Evaluate(ctx, reqs)
+	stop()
+	if err != nil {
+		return nil, err
+	}
+	combined := make([]DesignPoint, len(phase2))
+	for i, v := range vals {
+		combined[i] = DesignPoint{
+			MemArch: phase2[i].MemArch,
+			Conn:    phase2[i].Conn,
+			Cost:    v.Cost,
+			Latency: v.Latency,
+			Energy:  v.Energy,
+		}
+		res.SimulatedAccesses += v.Work
 	}
 	res.Combined = combined
 
 	for _, p := range pareto.Front(res.Points(), pareto.Cost, pareto.Latency) {
 		res.CostPerfFront = append(res.CostPerfFront, *p.Meta.(*DesignPoint))
 	}
+	res.Stats = eng.Stats()
+	res.CacheHits = res.Stats.CacheHits - before.CacheHits
 	return res, nil
 }
 
 // FullSimulate runs the full (non-sampled) simulation of one design and
-// returns its exact design point plus the simulated access count.
+// returns its exact design point plus the simulated access count. It is
+// a convenience for one-off evaluations; batch callers should go
+// through an engine.
 func FullSimulate(t *trace.Trace, arch *mem.Architecture, conn *connect.Arch) (*DesignPoint, int64, error) {
 	s, err := sim.New(arch, conn)
 	if err != nil {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -215,7 +216,7 @@ func TestEnumerateAssignmentsInfeasibleCluster(t *testing.T) {
 
 func TestConnectivityExploration(t *testing.T) {
 	tr := smallTrace()
-	points, work, _, err := ConnectivityExploration(tr, testArch(), fastConfig())
+	points, work, _, err := ConnectivityExploration(context.Background(), tr, testArch(), fastConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -288,7 +289,7 @@ func TestExploreEndToEnd(t *testing.T) {
 			Default: 0,
 		},
 	}
-	res, err := Explore(tr, archs, fastConfig())
+	res, err := Explore(context.Background(), tr, archs, fastConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -322,26 +323,73 @@ func TestExploreEndToEnd(t *testing.T) {
 	}
 }
 
+// The engine returns batch results in submission order, so the whole
+// exploration — including its pareto fronts — must be identical whether
+// it runs on one worker or eight.
+func TestParallelSerialEquivalence(t *testing.T) {
+	tr := smallTrace()
+	archs := func() []*mem.Architecture {
+		return []*mem.Architecture{
+			testArch(),
+			{
+				Name:    "cache-only",
+				Modules: []mem.Module{mem.MustCache(8192, 32, 2)},
+				DRAM:    mem.DefaultDRAM(),
+				Default: 0,
+			},
+		}
+	}
+	run := func(workers int) *Result {
+		cfg := fastConfig()
+		cfg.Workers = workers
+		res, err := Explore(context.Background(), tr, archs(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial, parallel := run(1), run(8)
+	if len(serial.Combined) != len(parallel.Combined) {
+		t.Fatalf("combined sizes differ: %d vs %d", len(serial.Combined), len(parallel.Combined))
+	}
+	for i := range serial.Combined {
+		s, p := serial.Combined[i], parallel.Combined[i]
+		if s.Cost != p.Cost || s.Latency != p.Latency || s.Energy != p.Energy {
+			t.Fatalf("combined[%d] differs between 1 and 8 workers: %+v vs %+v", i, s, p)
+		}
+	}
+	if len(serial.CostPerfFront) != len(parallel.CostPerfFront) {
+		t.Fatalf("front sizes differ: %d vs %d", len(serial.CostPerfFront), len(parallel.CostPerfFront))
+	}
+	for i := range serial.CostPerfFront {
+		s, p := serial.CostPerfFront[i], parallel.CostPerfFront[i]
+		if s.Cost != p.Cost || s.Latency != p.Latency || s.Energy != p.Energy ||
+			s.Label() != p.Label() {
+			t.Fatalf("front[%d] differs between 1 and 8 workers:\n  %s\n  %s", i, s.Label(), p.Label())
+		}
+	}
+}
+
 func TestExploreValidation(t *testing.T) {
 	tr := smallTrace()
-	if _, err := Explore(tr, nil, fastConfig()); err == nil {
+	if _, err := Explore(context.Background(), tr, nil, fastConfig()); err == nil {
 		t.Fatal("empty architecture list accepted")
 	}
 	bad := fastConfig()
 	bad.Library = nil
-	if _, err := Explore(tr, []*mem.Architecture{testArch()}, bad); err == nil {
+	if _, err := Explore(context.Background(), tr, []*mem.Architecture{testArch()}, bad); err == nil {
 		t.Fatal("empty library accepted")
 	}
 	bad = fastConfig()
 	bad.KeepPerArch = 0
-	if _, err := Explore(tr, []*mem.Architecture{testArch()}, bad); err == nil {
+	if _, err := Explore(context.Background(), tr, []*mem.Architecture{testArch()}, bad); err == nil {
 		t.Fatal("zero KeepPerArch accepted")
 	}
 }
 
 func TestDesignPointLabel(t *testing.T) {
 	tr := smallTrace()
-	points, _, _, err := ConnectivityExploration(tr, testArch(), fastConfig())
+	points, _, _, err := ConnectivityExploration(context.Background(), tr, testArch(), fastConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -414,7 +462,7 @@ func TestFullSimulateMatchesEstimateRanking(t *testing.T) {
 	tr := smallTrace()
 	arch := testArch()
 	cfg := fastConfig()
-	points, _, _, err := ConnectivityExploration(tr, arch, cfg)
+	points, _, _, err := ConnectivityExploration(context.Background(), tr, arch, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,383 @@
+// Package engine is the unified design-point evaluation layer of
+// MemorEx. Every caller that needs the (cost, latency, energy) figures
+// of a (memory architecture, connectivity architecture) pair — the core
+// ConEx phases, the exploration strategy drivers, the experiment
+// harness and the CLIs — routes its evaluations through one Engine.
+//
+// The engine owns three concerns the callers used to hand-roll:
+//
+//   - a bounded worker pool honouring the configured parallelism, with
+//     context.Context cancellation plumbed through every batch;
+//   - a memoization cache keyed by a stable fingerprint of
+//     (trace, memory architecture, connectivity architecture,
+//     sampled-vs-full), so a design estimated in ConEx Phase I or seen
+//     by a sibling strategy or experiment is never simulated twice;
+//   - evaluation statistics (simulations run, cache hits, sampled and
+//     full access counts, wall time per named phase) surfaced through
+//     the report writer and the memorex/paperbench CLIs.
+//
+// Results of a batch are always returned in submission order, so pareto
+// fronts derived from them are byte-identical regardless of the worker
+// count.
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"memorex/internal/connect"
+	"memorex/internal/mem"
+	"memorex/internal/sampling"
+	"memorex/internal/sim"
+	"memorex/internal/trace"
+)
+
+// Mode selects the evaluation fidelity of a request.
+type Mode int
+
+// Evaluation modes.
+const (
+	// Sampled evaluates with the time-sampling estimator (Phase I).
+	Sampled Mode = iota
+	// Full runs the full, non-sampled simulation (Phase II).
+	Full
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case Sampled:
+		return "sampled"
+	case Full:
+		return "full"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Request asks for the evaluation of one design point.
+type Request struct {
+	// Trace is the memory-access trace to replay.
+	Trace *trace.Trace
+	// Mem is the memory-modules architecture.
+	Mem *mem.Architecture
+	// Conn is the connectivity architecture.
+	Conn *connect.Arch
+	// Mode selects sampled estimation or full simulation.
+	Mode Mode
+	// Sampling configures the estimator; used only when Mode is
+	// Sampled (and part of the memoization key then).
+	Sampling sampling.Config
+	// Phase optionally attributes the evaluation to a named phase in
+	// the engine statistics.
+	Phase string
+}
+
+// Value is the outcome of one evaluation.
+type Value struct {
+	// Cost is the total on-chip area in gates (memory + connectivity).
+	Cost float64
+	// Latency is the average memory latency in cycles per access.
+	Latency float64
+	// Energy is the average energy in nJ per access.
+	Energy float64
+	// Estimated is true for Sampled-mode figures.
+	Estimated bool
+	// Work is the number of trace accesses actually simulated to
+	// produce this value; 0 when it was served from the memo cache.
+	Work int64
+	// Hit reports whether the value came from the memo cache.
+	Hit bool
+}
+
+// PhaseStat accumulates the evaluation activity of one named phase.
+type PhaseStat struct {
+	Name string
+	// Wall is the accumulated wall-clock time spent inside the phase
+	// (StartPhase..stop brackets).
+	Wall time.Duration
+	// Requests and Simulations count the evaluations attributed to the
+	// phase via Request.Phase, and how many of them actually ran a
+	// simulator (the rest were cache hits).
+	Requests    int64
+	Simulations int64
+}
+
+// Stats is a snapshot of the engine counters.
+type Stats struct {
+	// Requests counts every evaluation asked of the engine.
+	Requests int64
+	// Simulations counts the evaluations that actually ran a simulator
+	// (sampled or full); Requests - Simulations were served by the
+	// memoization cache or failed.
+	Simulations int64
+	// CacheHits counts requests answered from the memo cache.
+	CacheHits int64
+	// SampledSimulations / FullSimulations split Simulations by mode.
+	SampledSimulations int64
+	FullSimulations    int64
+	// SampledAccesses / FullAccesses count the trace accesses actually
+	// simulated in each mode (the exploration's work measure).
+	SampledAccesses int64
+	FullAccesses    int64
+	// Phases lists per-phase wall times and counters in first-use
+	// order.
+	Phases []PhaseStat
+}
+
+// String renders the snapshot as a compact one-or-two-line summary for
+// the CLIs.
+func (s Stats) String() string {
+	out := fmt.Sprintf("engine: %d evaluations, %d simulations (%d sampled + %d full), %d cache hits; %d sampled + %d full accesses",
+		s.Requests, s.Simulations, s.SampledSimulations, s.FullSimulations,
+		s.CacheHits, s.SampledAccesses, s.FullAccesses)
+	for _, p := range s.Phases {
+		out += fmt.Sprintf("\n  phase %-18s %10v  %6d evals  %6d sims",
+			p.Name, p.Wall.Round(time.Millisecond), p.Requests, p.Simulations)
+	}
+	return out
+}
+
+// DefaultWorkers is the canonical parallelism default used everywhere a
+// worker count of 0 is configured.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// entry is one memoization slot. The first requester computes the value
+// while concurrent duplicates wait on done (single-flight).
+type entry struct {
+	done chan struct{}
+	val  Value
+	err  error
+}
+
+// Engine is the shared evaluator. It is safe for concurrent use; one
+// engine can (and should) be shared across exploration phases,
+// strategies and experiments so the memo cache works across them.
+type Engine struct {
+	workers int
+
+	mu      sync.Mutex
+	cache   map[uint64]*entry
+	traceFP map[*trace.Trace]uint64
+	memFP   map[*mem.Architecture]uint64
+	stats   Stats
+	phase   map[string]int // phase name -> index into stats.Phases
+}
+
+// New returns an engine bounded to the given worker count
+// (0 or negative = DefaultWorkers).
+func New(workers int) *Engine {
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	return &Engine{
+		workers: workers,
+		cache:   map[uint64]*entry{},
+		traceFP: map[*trace.Trace]uint64{},
+		memFP:   map[*mem.Architecture]uint64{},
+		phase:   map[string]int{},
+	}
+}
+
+// Workers returns the engine's parallelism bound.
+func (e *Engine) Workers() int { return e.workers }
+
+// Stats returns a snapshot of the engine counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s := e.stats
+	s.Phases = append([]PhaseStat(nil), e.stats.Phases...)
+	return s
+}
+
+// StartPhase starts (or resumes) the wall-clock timer of a named phase
+// and returns the function that stops it. Phases appear in the stats in
+// first-use order.
+func (e *Engine) StartPhase(name string) (stop func()) {
+	start := time.Now()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			d := time.Since(start)
+			e.mu.Lock()
+			e.phaseLocked(name).Wall += d
+			e.mu.Unlock()
+		})
+	}
+}
+
+// phaseLocked returns the phase slot for name, creating it if needed.
+// Callers must hold e.mu.
+func (e *Engine) phaseLocked(name string) *PhaseStat {
+	if i, ok := e.phase[name]; ok {
+		return &e.stats.Phases[i]
+	}
+	e.phase[name] = len(e.stats.Phases)
+	e.stats.Phases = append(e.stats.Phases, PhaseStat{Name: name})
+	return &e.stats.Phases[len(e.stats.Phases)-1]
+}
+
+// Evaluate runs a batch of requests on the worker pool and returns the
+// values in submission order. On error the batch is cancelled and the
+// first error (in submission order) is returned; ctx cancellation stops
+// the batch between evaluations.
+func (e *Engine) Evaluate(ctx context.Context, reqs []Request) ([]Value, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	out := make([]Value, len(reqs))
+	errs := make([]error, len(reqs))
+	bctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	sem := make(chan struct{}, e.workers)
+	var wg sync.WaitGroup
+	for i := range reqs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			select {
+			case sem <- struct{}{}:
+			case <-bctx.Done():
+				errs[i] = bctx.Err()
+				return
+			}
+			defer func() { <-sem }()
+			// The sem send can win the select against an already
+			// cancelled context; re-check before doing work.
+			if err := bctx.Err(); err != nil {
+				errs[i] = err
+				return
+			}
+			v, err := e.evaluate(bctx, reqs[i])
+			if err != nil {
+				errs[i] = err
+				cancel()
+				return
+			}
+			out[i] = v
+		}(i)
+	}
+	wg.Wait()
+	// Prefer the first real failure over the cancellations it caused.
+	for _, err := range errs {
+		if err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+			return nil, err
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// EvaluateOne evaluates a single request through the pool and cache.
+func (e *Engine) EvaluateOne(ctx context.Context, req Request) (Value, error) {
+	vals, err := e.Evaluate(ctx, []Request{req})
+	if err != nil {
+		return Value{}, err
+	}
+	return vals[0], nil
+}
+
+// evaluate serves one request from the cache or computes and caches it.
+func (e *Engine) evaluate(ctx context.Context, r Request) (Value, error) {
+	if r.Trace == nil || r.Mem == nil || r.Conn == nil {
+		return Value{}, fmt.Errorf("engine: request missing trace, memory or connectivity architecture")
+	}
+	key := e.key(r)
+	e.mu.Lock()
+	e.stats.Requests++
+	if r.Phase != "" {
+		e.phaseLocked(r.Phase).Requests++
+	}
+	if ent, ok := e.cache[key]; ok {
+		e.mu.Unlock()
+		select {
+		case <-ent.done:
+		case <-ctx.Done():
+			return Value{}, ctx.Err()
+		}
+		if ent.err != nil {
+			return Value{}, ent.err
+		}
+		e.mu.Lock()
+		e.stats.CacheHits++
+		e.mu.Unlock()
+		v := ent.val
+		v.Work = 0
+		v.Hit = true
+		return v, nil
+	}
+	ent := &entry{done: make(chan struct{})}
+	e.cache[key] = ent
+	e.mu.Unlock()
+
+	v, err := e.simulate(r)
+	if err != nil {
+		ent.err = err
+		e.mu.Lock()
+		delete(e.cache, key) // failures are not memoized
+		e.mu.Unlock()
+		close(ent.done)
+		return Value{}, err
+	}
+	ent.val = v
+	e.mu.Lock()
+	e.stats.Simulations++
+	if r.Mode == Full {
+		e.stats.FullSimulations++
+		e.stats.FullAccesses += v.Work
+	} else {
+		e.stats.SampledSimulations++
+		e.stats.SampledAccesses += v.Work
+	}
+	if r.Phase != "" {
+		e.phaseLocked(r.Phase).Simulations++
+	}
+	e.mu.Unlock()
+	close(ent.done)
+	return v, nil
+}
+
+// simulate runs the actual simulator for a request (no caching).
+func (e *Engine) simulate(r Request) (Value, error) {
+	cost := r.Mem.Gates() + r.Conn.Gates()
+	switch r.Mode {
+	case Sampled:
+		res, simulated, err := sampling.Estimate(r.Trace, r.Mem, r.Conn, r.Sampling)
+		if err != nil {
+			return Value{}, err
+		}
+		return Value{
+			Cost:      cost,
+			Latency:   res.AvgLatency(),
+			Energy:    res.AvgEnergy(),
+			Estimated: true,
+			Work:      simulated,
+		}, nil
+	case Full:
+		s, err := sim.New(r.Mem, r.Conn)
+		if err != nil {
+			return Value{}, err
+		}
+		res, err := s.Run(r.Trace)
+		if err != nil {
+			return Value{}, err
+		}
+		return Value{
+			Cost:    cost,
+			Latency: res.AvgLatency(),
+			Energy:  res.AvgEnergy(),
+			Work:    res.Accesses,
+		}, nil
+	default:
+		return Value{}, fmt.Errorf("engine: unknown evaluation mode %d", r.Mode)
+	}
+}

@@ -1,0 +1,188 @@
+package engine
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"io"
+	"sort"
+
+	"memorex/internal/connect"
+	"memorex/internal/mem"
+	"memorex/internal/trace"
+)
+
+// Fingerprinting: the memoization key of a request is a stable 64-bit
+// FNV-1a digest over the structural content of the trace, the memory
+// architecture, the connectivity architecture and the evaluation mode.
+// Two architectures built independently but describing the same design
+// (same modules, routes, DRAM timing, clustering and component
+// assignment) hash identically, so equivalent designs re-created by
+// sibling strategies or experiments hit the cache. Pointer identity is
+// used only as a secondary cache to avoid re-hashing the same trace or
+// architecture object.
+
+// key computes the memoization key of a request.
+func (e *Engine) key(r Request) uint64 {
+	h := fnv.New64a()
+	writeU64(h, e.traceFingerprint(r.Trace))
+	writeU64(h, e.memFingerprint(r.Mem))
+	writeU64(h, connFingerprint(r.Conn))
+	writeU64(h, uint64(r.Mode))
+	if r.Mode == Sampled {
+		writeU64(h, uint64(r.Sampling.OnWindow))
+		writeU64(h, uint64(r.Sampling.OffRatio))
+	}
+	return h.Sum64()
+}
+
+// traceFingerprint hashes the full access stream and data-structure
+// registry of a trace, memoized per trace object (traces are immutable
+// once built).
+func (e *Engine) traceFingerprint(t *trace.Trace) uint64 {
+	e.mu.Lock()
+	if fp, ok := e.traceFP[t]; ok {
+		e.mu.Unlock()
+		return fp
+	}
+	e.mu.Unlock()
+
+	h := fnv.New64a()
+	io.WriteString(h, t.Name)
+	writeU64(h, uint64(len(t.Accesses)))
+	writeU64(h, uint64(len(t.DS)))
+	for _, d := range t.DS {
+		io.WriteString(h, d.Name)
+		writeU64(h, uint64(d.Base))
+		writeU64(h, uint64(d.Size))
+		writeU64(h, uint64(d.Elem))
+	}
+	// Hash accesses in 8-byte records through a chunk buffer: the hot
+	// loop avoids one Write call per access.
+	var buf [8 << 10]byte
+	n := 0
+	for _, a := range t.Accesses {
+		if n == len(buf) {
+			h.Write(buf[:])
+			n = 0
+		}
+		binary.LittleEndian.PutUint32(buf[n:], a.Addr)
+		binary.LittleEndian.PutUint16(buf[n+4:], uint16(a.DS))
+		buf[n+6] = byte(a.Kind)
+		buf[n+7] = a.Size
+		n += 8
+	}
+	h.Write(buf[:n])
+	fp := h.Sum64()
+
+	e.mu.Lock()
+	e.traceFP[t] = fp
+	e.mu.Unlock()
+	return fp
+}
+
+// memFingerprint hashes a memory-modules architecture structurally,
+// memoized per architecture object.
+func (e *Engine) memFingerprint(a *mem.Architecture) uint64 {
+	e.mu.Lock()
+	if fp, ok := e.memFP[a]; ok {
+		e.mu.Unlock()
+		return fp
+	}
+	e.mu.Unlock()
+
+	h := fnv.New64a()
+	writeU64(h, uint64(len(a.Modules)))
+	for _, m := range a.Modules {
+		writeModule(h, m)
+	}
+	if a.L2 != nil {
+		io.WriteString(h, "l2")
+		writeModule(h, a.L2)
+	}
+	if a.DRAM != nil {
+		writeU64(h, uint64(a.DRAM.RowHitCycles))
+		writeU64(h, uint64(a.DRAM.RowMissCycles))
+		writeU64(h, uint64(a.DRAM.RowBytes))
+		writeU64(h, uint64(a.DRAM.Banks))
+		writeU64(h, uint64(a.DRAM.Policy))
+	}
+	writeU64(h, uint64(int64(a.Default)))
+	ids := make([]int, 0, len(a.Route))
+	for ds := range a.Route {
+		ids = append(ids, int(ds))
+	}
+	sort.Ints(ids)
+	for _, ds := range ids {
+		writeU64(h, uint64(ds))
+		writeU64(h, uint64(int64(a.Route[trace.DSID(ds)])))
+	}
+	fp := h.Sum64()
+
+	e.mu.Lock()
+	e.memFP[a] = fp
+	e.mu.Unlock()
+	return fp
+}
+
+// writeModule hashes one memory module. Module names encode the library
+// configuration (e.g. "cache8k-2w-32b", "stream4x32b", "cache2k-1w-32b+v8");
+// gates, energy and latency guard against name collisions.
+func writeModule(h io.Writer, m mem.Module) {
+	io.WriteString(h, m.Name())
+	writeU64(h, uint64(m.Kind()))
+	writeU64(h, uint64(m.Latency()))
+	writeF64(h, m.Gates())
+	writeF64(h, m.Energy())
+}
+
+// connFingerprint hashes a connectivity architecture: the channel list,
+// the clustering partition and the component assignment.
+func connFingerprint(c *connect.Arch) uint64 {
+	h := fnv.New64a()
+	writeU64(h, uint64(len(c.Channels)))
+	for _, ch := range c.Channels {
+		writeU64(h, uint64(ch.Kind))
+		writeU64(h, uint64(ch.Module))
+		writeBool(h, ch.OffChip)
+	}
+	writeU64(h, uint64(len(c.Clusters)))
+	for i, cl := range c.Clusters {
+		writeU64(h, uint64(len(cl)))
+		for _, ch := range cl {
+			writeU64(h, uint64(ch))
+		}
+		comp := c.Assign[i]
+		io.WriteString(h, comp.Name)
+		writeU64(h, uint64(comp.Class))
+		writeU64(h, uint64(comp.WidthBytes))
+		writeU64(h, uint64(comp.ArbCycles))
+		writeU64(h, uint64(comp.BeatCycles))
+		writeBool(h, comp.Pipelined)
+		writeBool(h, comp.Split)
+		writeU64(h, uint64(comp.MaxPorts))
+		writeBool(h, comp.OnChip)
+		writeF64(h, comp.EnergyPerByte)
+		writeF64(h, comp.BaseGates)
+		writeF64(h, comp.GatesPerPort)
+		writeF64(h, comp.WireGatesPerPort)
+	}
+	return h.Sum64()
+}
+
+func writeU64(w io.Writer, v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	w.Write(b[:])
+}
+
+func writeF64(w io.Writer, v float64) {
+	writeU64(w, uint64(int64(v*1e6)))
+}
+
+func writeBool(w io.Writer, v bool) {
+	if v {
+		writeU64(w, 1)
+	} else {
+		writeU64(w, 0)
+	}
+}

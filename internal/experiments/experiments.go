@@ -6,16 +6,22 @@
 //
 // Two presets exist: the Paper preset runs the spaces used for
 // EXPERIMENTS.md, and the Quick preset shrinks traces and enumeration
-// caps so that benchmarks and CI stay fast. Reproduction targets are
-// shapes (who wins, rough factors, crossovers), not the paper's absolute
-// 2002 gate counts.
+// caps so that benchmarks and CI stay fast. Both presets share one
+// evaluation engine across the figure experiments, so a design point
+// simulated for Figure 4 is served from the memo cache when Figure 6 or
+// the energy views revisit it. Reproduction targets are shapes (who
+// wins, rough factors, crossovers), not the paper's absolute 2002 gate
+// counts.
 package experiments
 
 import (
+	"context"
+	"fmt"
 	"sync"
 
 	"memorex/internal/apex"
 	"memorex/internal/core"
+	"memorex/internal/engine"
 	"memorex/internal/mem"
 	"memorex/internal/profile"
 	"memorex/internal/sampling"
@@ -29,15 +35,22 @@ type Options struct {
 	TraceLimit int
 	// APEX bounds the memory-modules space.
 	APEX apex.Config
-	// ConEx parameterizes the connectivity exploration.
+	// ConEx parameterizes the connectivity exploration. Its Engine is
+	// shared across the figure experiments (set by the presets).
 	ConEx core.Config
 	// Table2TraceLimit truncates the Table 2 traces (the Full baseline
 	// simulates every design, so it gets its own, tighter limit).
 	Table2TraceLimit int
-	// Table2APEX / Table2ConEx bound the Table 2 space.
+	// Table2APEX / Table2ConEx bound the Table 2 space. Table2ConEx
+	// deliberately carries no shared engine: each strategy run gets a
+	// private one, so the Full-vs-Pruned work comparison stays honest.
 	Table2APEX  apex.Config
 	Table2ConEx core.Config
 }
+
+// Engine returns the evaluation engine shared by the figure
+// experiments (nil when the preset did not set one).
+func (o Options) Engine() *engine.Engine { return o.ConEx.Engine }
 
 // Paper returns the preset used to produce EXPERIMENTS.md.
 func Paper() Options {
@@ -55,6 +68,7 @@ func Paper() Options {
 		Table2ConEx:      core.DefaultConfig(),
 		Table2TraceLimit: 120_000,
 	}
+	opt.ConEx.Engine = engine.New(0)
 	opt.Table2ConEx.MaxAssignPerLevel = 24
 	opt.Table2ConEx.KeepPerArch = 10
 	return opt
@@ -85,6 +99,7 @@ func Quick() Options {
 		Table2ConEx:      core.DefaultConfig(),
 		Table2TraceLimit: 40_000,
 	}
+	opt.ConEx.Engine = engine.New(0)
 	opt.ConEx.MaxAssignPerLevel = 48
 	opt.ConEx.KeepPerArch = 6
 	opt.ConEx.Sampling = sampling.Config{OnWindow: 1000, OffRatio: 9}
@@ -94,11 +109,14 @@ func Quick() Options {
 	return opt
 }
 
-// traceCache shares generated benchmark traces across experiments in
-// one process (trace generation is deterministic).
+// traceCache shares generated benchmark traces (and their truncated
+// slices) across experiments in one process. Trace generation is
+// deterministic, and reusing the same slice object lets the engine skip
+// re-fingerprinting the trace between experiments.
 var (
 	traceMu    sync.Mutex
 	traceCache = map[string]*trace.Trace{}
+	sliceCache = map[string]*trace.Trace{}
 )
 
 // benchTrace returns the (possibly truncated) trace of a benchmark.
@@ -115,14 +133,20 @@ func benchTrace(name string, limit int) (*trace.Trace, error) {
 		traceCache[name] = t
 	}
 	if limit > 0 && limit < t.NumAccesses() {
-		return t.Slice(0, limit), nil
+		key := fmt.Sprintf("%s#%d", name, limit)
+		s, ok := sliceCache[key]
+		if !ok {
+			s = t.Slice(0, limit)
+			sliceCache[key] = s
+		}
+		return s, nil
 	}
 	return t, nil
 }
 
 // pipeline runs profile + APEX + ConEx for a benchmark under the given
-// bounds, sharing nothing mutable.
-func pipeline(name string, limit int, apexCfg apex.Config, conexCfg core.Config) (*trace.Trace, *apex.Result, *core.Result, error) {
+// bounds, sharing nothing mutable beyond the evaluation engine.
+func pipeline(ctx context.Context, name string, limit int, apexCfg apex.Config, conexCfg core.Config) (*trace.Trace, *apex.Result, *core.Result, error) {
 	t, err := benchTrace(name, limit)
 	if err != nil {
 		return nil, nil, nil, err
@@ -136,7 +160,7 @@ func pipeline(name string, limit int, apexCfg apex.Config, conexCfg core.Config)
 	for _, dp := range apexRes.Selected {
 		archs = append(archs, dp.Arch)
 	}
-	conexRes, err := core.Explore(t, archs, conexCfg)
+	conexRes, err := core.Explore(ctx, t, archs, conexCfg)
 	if err != nil {
 		return nil, nil, nil, err
 	}

@@ -1,12 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
 
 func TestFigure3Quick(t *testing.T) {
-	res, err := Figure3(Quick())
+	res, err := Figure3(context.Background(), Quick())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,7 +34,7 @@ func TestFigure3Quick(t *testing.T) {
 }
 
 func TestFigure4Quick(t *testing.T) {
-	res, err := Figure4(Quick())
+	res, err := Figure4(context.Background(), Quick())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +61,7 @@ func TestFigure4Quick(t *testing.T) {
 }
 
 func TestFigure6Quick(t *testing.T) {
-	res, err := Figure6(Quick())
+	res, err := Figure6(context.Background(), Quick())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +84,7 @@ func TestFigure6Quick(t *testing.T) {
 }
 
 func TestTable1Quick(t *testing.T) {
-	res, err := Table1(Quick())
+	res, err := Table1(context.Background(), Quick())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +120,7 @@ func TestTable2Quick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("table 2 runs the Full strategy")
 	}
-	res, err := Table2(Quick())
+	res, err := Table2(context.Background(), Quick())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +154,7 @@ func TestTable2Quick(t *testing.T) {
 }
 
 func TestFigureEnergyQuick(t *testing.T) {
-	res, err := FigureEnergy(Quick())
+	res, err := FigureEnergy(context.Background(), Quick())
 	if err != nil {
 		t.Fatal(err)
 	}

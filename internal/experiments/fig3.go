@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -28,7 +29,10 @@ type Figure3Result struct {
 }
 
 // Figure3 runs the memory-modules exploration of compress.
-func Figure3(opt Options) (*Figure3Result, error) {
+func Figure3(ctx context.Context, opt Options) (*Figure3Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	t, err := benchTrace("compress", opt.TraceLimit)
 	if err != nil {
 		return nil, err

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -39,8 +40,8 @@ type Figure4Result struct {
 }
 
 // Figure4 runs the coupled APEX+ConEx exploration of compress.
-func Figure4(opt Options) (*Figure4Result, error) {
-	t, _, conexRes, err := pipeline("compress", opt.TraceLimit, opt.APEX, opt.ConEx)
+func Figure4(ctx context.Context, opt Options) (*Figure4Result, error) {
+	t, _, conexRes, err := pipeline(ctx, "compress", opt.TraceLimit, opt.APEX, opt.ConEx)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -43,8 +44,8 @@ type Figure6Result struct {
 // gains of the custom architectures are measured against the strongest
 // conventional design, not against whatever cache-only point happened to
 // survive pruning.
-func Figure6(opt Options) (*Figure6Result, error) {
-	t, apexRes, conexRes, err := pipeline("compress", opt.TraceLimit, opt.APEX, opt.ConEx)
+func Figure6(ctx context.Context, opt Options) (*Figure6Result, error) {
+	t, apexRes, conexRes, err := pipeline(ctx, "compress", opt.TraceLimit, opt.APEX, opt.ConEx)
 	if err != nil {
 		return nil, err
 	}
@@ -69,7 +70,7 @@ func Figure6(opt Options) (*Figure6Result, error) {
 	}
 	points := append([]core.DesignPoint(nil), conexRes.Combined...)
 	if refArch != nil {
-		refRes, err := core.Explore(t, []*mem.Architecture{refArch}, opt.ConEx)
+		refRes, err := core.Explore(ctx, t, []*mem.Architecture{refArch}, opt.ConEx)
 		if err != nil {
 			return nil, err
 		}

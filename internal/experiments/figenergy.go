@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -31,8 +32,8 @@ type FigureEnergyResult struct {
 
 // FigureEnergy runs the compress exploration and projects the energy
 // dimension.
-func FigureEnergy(opt Options) (*FigureEnergyResult, error) {
-	_, _, conexRes, err := pipeline("compress", opt.TraceLimit, opt.APEX, opt.ConEx)
+func FigureEnergy(ctx context.Context, opt Options) (*FigureEnergyResult, error) {
+	_, _, conexRes, err := pipeline(ctx, "compress", opt.TraceLimit, opt.APEX, opt.ConEx)
 	if err != nil {
 		return nil, err
 	}

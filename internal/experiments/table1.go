@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 )
@@ -26,10 +27,10 @@ type Table1Result struct {
 var Table1Benchmarks = []string{"compress", "li", "vocoder"}
 
 // Table1 runs the full pipeline on all three benchmarks.
-func Table1(opt Options) (*Table1Result, error) {
+func Table1(ctx context.Context, opt Options) (*Table1Result, error) {
 	out := &Table1Result{}
 	for _, name := range Table1Benchmarks {
-		t, _, conexRes, err := pipeline(name, opt.TraceLimit, opt.APEX, opt.ConEx)
+		t, _, conexRes, err := pipeline(ctx, name, opt.TraceLimit, opt.APEX, opt.ConEx)
 		if err != nil {
 			return nil, fmt.Errorf("table1 %s: %w", name, err)
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -26,7 +27,10 @@ type Table2Result struct {
 }
 
 // Table2 runs the three exploration strategies on compress and vocoder.
-func Table2(opt Options) (*Table2Result, error) {
+// Each strategy runs on a private engine (Table2ConEx carries none), so
+// the work comparison between Full, Pruned and Neighborhood measures
+// what each strategy would cost on its own.
+func Table2(ctx context.Context, opt Options) (*Table2Result, error) {
 	out := &Table2Result{}
 	for _, name := range Table2Benchmarks {
 		t, err := benchTrace(name, opt.Table2TraceLimit)
@@ -38,15 +42,15 @@ func Table2(opt Options) (*Table2Result, error) {
 			return nil, err
 		}
 		space := explore.BuildSpace(apexRes)
-		full, err := explore.Run(t, space, explore.Full, opt.Table2ConEx)
+		full, err := explore.Run(ctx, t, space, explore.Full, opt.Table2ConEx)
 		if err != nil {
 			return nil, err
 		}
-		pruned, err := explore.Run(t, space, explore.Pruned, opt.Table2ConEx)
+		pruned, err := explore.Run(ctx, t, space, explore.Pruned, opt.Table2ConEx)
 		if err != nil {
 			return nil, err
 		}
-		nbhd, err := explore.Run(t, space, explore.Neighborhood, opt.Table2ConEx)
+		nbhd, err := explore.Run(ctx, t, space, explore.Neighborhood, opt.Table2ConEx)
 		if err != nil {
 			return nil, err
 		}

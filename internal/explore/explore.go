@@ -13,19 +13,24 @@
 //     neighbouring the selected ones on the cost axis are included, and
 //     each architecture contributes more locally promising designs.
 //
+// All three drivers evaluate design points through one shared
+// engine.Engine per Run call (or the caller's, via Config.Engine), so
+// parallelism, memoization and cancellation behave identically across
+// strategies.
+//
 // The package also computes Table 2's coverage and average-distance
 // metrics of each strategy against the Full truth.
 package explore
 
 import (
+	"context"
 	"fmt"
-	"runtime"
-	"sync"
 	"time"
 
 	"memorex/internal/apex"
 	"memorex/internal/connect"
 	"memorex/internal/core"
+	"memorex/internal/engine"
 	"memorex/internal/mem"
 	"memorex/internal/pareto"
 	"memorex/internal/trace"
@@ -117,26 +122,35 @@ type Outcome struct {
 	Points []core.DesignPoint
 	// Front is the strategy's cost/latency pareto front.
 	Front []pareto.Point
-	// WorkAccesses counts all simulated accesses (estimation + full).
+	// WorkAccesses counts all simulated accesses (estimation + full)
+	// actually performed; cache-hit evaluations contribute nothing.
 	WorkAccesses int64
 	// Wall is the measured wall-clock time of the strategy.
 	Wall time.Duration
+	// Stats snapshots the evaluation engine when the strategy finished.
+	Stats engine.Stats
 }
 
-// Run executes the given strategy over the space.
-func Run(t *trace.Trace, sp *Space, strategy Strategy, cfg core.Config) (*Outcome, error) {
+// Run executes the given strategy over the space. All design-point
+// evaluations go through one engine (cfg.Engine, or a fresh private one
+// per call — note that sharing an engine across strategies lets its
+// memo cache transfer simulations between them, which skews Table 2's
+// work comparison).
+func Run(ctx context.Context, t *trace.Trace, sp *Space, strategy Strategy, cfg core.Config) (*Outcome, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	eng := cfg.EngineOrNew()
+	cfg.Engine = eng
 	start := time.Now()
 	out := &Outcome{Strategy: strategy}
 	switch strategy {
 	case Full:
-		if err := runFull(t, sp.AllMem, cfg, out); err != nil {
+		if err := runFull(ctx, eng, t, sp.AllMem, cfg, out); err != nil {
 			return nil, err
 		}
 	case Pruned:
-		res, err := core.Explore(t, sp.SelectedMem, cfg)
+		res, err := core.Explore(ctx, t, sp.SelectedMem, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -145,7 +159,7 @@ func Run(t *trace.Trace, sp *Space, strategy Strategy, cfg core.Config) (*Outcom
 	case Neighborhood:
 		wide := cfg
 		wide.KeepPerArch = cfg.KeepPerArch * 2
-		res, err := core.Explore(t, sp.NeighborMem, wide)
+		res, err := core.Explore(ctx, t, sp.NeighborMem, wide)
 		if err != nil {
 			return nil, err
 		}
@@ -155,7 +169,7 @@ func Run(t *trace.Trace, sp *Space, strategy Strategy, cfg core.Config) (*Outcom
 		// designs: fully simulate each single-component swap (the
 		// paper's "points in the neighborhood of the selected points").
 		sel := selectedFronts(res.Combined)
-		extra, work, err := connectivityNeighbors(t, res.Combined, sel, cfg)
+		extra, work, err := connectivityNeighbors(ctx, eng, t, res.Combined, sel, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -170,6 +184,7 @@ func Run(t *trace.Trace, sp *Space, strategy Strategy, cfg core.Config) (*Outcom
 	}
 	out.Front = pareto.Front(pts, pareto.Cost, pareto.Latency)
 	out.Wall = time.Since(start)
+	out.Stats = eng.Stats()
 	return out, nil
 }
 
@@ -201,8 +216,10 @@ func selectedFronts(points []core.DesignPoint) []core.DesignPoint {
 
 // connectivityNeighbors fully simulates every single-component swap of
 // every design in expand, skipping designs already present in seed (and
-// deduplicating across the generated neighbors themselves).
-func connectivityNeighbors(t *trace.Trace, seed, expand []core.DesignPoint, cfg core.Config) ([]core.DesignPoint, int64, error) {
+// deduplicating across the generated neighbors themselves, so the
+// outcome holds no duplicate design points even though the engine would
+// memoize the repeats anyway).
+func connectivityNeighbors(ctx context.Context, eng *engine.Engine, t *trace.Trace, seed, expand []core.DesignPoint, cfg core.Config) ([]core.DesignPoint, int64, error) {
 	type job struct {
 		arch *mem.Architecture
 		conn *connect.Arch
@@ -245,44 +262,39 @@ func connectivityNeighbors(t *trace.Trace, seed, expand []core.DesignPoint, cfg 
 			}
 		}
 	}
-	extra := make([]core.DesignPoint, len(jobs))
-	errs := make([]error, len(jobs))
-	var work int64
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	sem := make(chan struct{}, workers)
+	stop := eng.StartPhase("explore/neighborhood")
+	defer stop()
+	reqs := make([]engine.Request, len(jobs))
 	for i := range jobs {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			dp, w, err := core.FullSimulate(t, jobs[i].arch, jobs[i].conn)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			extra[i] = *dp
-			mu.Lock()
-			work += w
-			mu.Unlock()
-		}(i)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, 0, err
+		reqs[i] = engine.Request{
+			Trace: t,
+			Mem:   jobs[i].arch,
+			Conn:  jobs[i].conn,
+			Mode:  engine.Full,
+			Phase: "explore/neighborhood",
 		}
+	}
+	vals, err := eng.Evaluate(ctx, reqs)
+	if err != nil {
+		return nil, 0, err
+	}
+	extra := make([]core.DesignPoint, len(jobs))
+	var work int64
+	for i, v := range vals {
+		extra[i] = core.DesignPoint{
+			MemArch: jobs[i].arch,
+			Conn:    jobs[i].conn,
+			Cost:    v.Cost,
+			Latency: v.Latency,
+			Energy:  v.Energy,
+		}
+		work += v.Work
 	}
 	return extra, work, nil
 }
 
-// runFull simulates the entire combined space.
-func runFull(t *trace.Trace, memArchs []*mem.Architecture, cfg core.Config, out *Outcome) error {
+// runFull simulates the entire combined space through the engine.
+func runFull(ctx context.Context, eng *engine.Engine, t *trace.Trace, memArchs []*mem.Architecture, cfg core.Config, out *Outcome) error {
 	type job struct {
 		arch *mem.Architecture
 		conn *connect.Arch
@@ -301,38 +313,33 @@ func runFull(t *trace.Trace, memArchs []*mem.Architecture, cfg core.Config, out 
 			}
 		}
 	}
-	points := make([]core.DesignPoint, len(jobs))
-	errs := make([]error, len(jobs))
-	var work int64
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	sem := make(chan struct{}, workers)
+	stop := eng.StartPhase("explore/full-space")
+	defer stop()
+	reqs := make([]engine.Request, len(jobs))
 	for i := range jobs {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			dp, w, err := core.FullSimulate(t, jobs[i].arch, jobs[i].conn)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			points[i] = *dp
-			mu.Lock()
-			work += w
-			mu.Unlock()
-		}(i)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
+		reqs[i] = engine.Request{
+			Trace: t,
+			Mem:   jobs[i].arch,
+			Conn:  jobs[i].conn,
+			Mode:  engine.Full,
+			Phase: "explore/full-space",
 		}
+	}
+	vals, err := eng.Evaluate(ctx, reqs)
+	if err != nil {
+		return err
+	}
+	points := make([]core.DesignPoint, len(jobs))
+	var work int64
+	for i, v := range vals {
+		points[i] = core.DesignPoint{
+			MemArch: jobs[i].arch,
+			Conn:    jobs[i].conn,
+			Cost:    v.Cost,
+			Latency: v.Latency,
+			Energy:  v.Energy,
+		}
+		work += v.Work
 	}
 	out.Points = points
 	out.WorkAccesses = work

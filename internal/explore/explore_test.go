@@ -1,6 +1,7 @@
 package explore
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -71,15 +72,15 @@ func TestStrategiesEndToEnd(t *testing.T) {
 	tr, sp := tinySpace(t)
 	cfg := tinyConfig()
 
-	full, err := Run(tr, sp, Full, cfg)
+	full, err := Run(context.Background(), tr, sp, Full, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	pruned, err := Run(tr, sp, Pruned, cfg)
+	pruned, err := Run(context.Background(), tr, sp, Pruned, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	nbhd, err := Run(tr, sp, Neighborhood, cfg)
+	nbhd, err := Run(context.Background(), tr, sp, Neighborhood, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,12 +127,12 @@ func TestStrategiesEndToEnd(t *testing.T) {
 func TestRunValidation(t *testing.T) {
 	tr, sp := tinySpace(t)
 	cfg := tinyConfig()
-	if _, err := Run(tr, sp, Strategy(9), cfg); err == nil {
+	if _, err := Run(context.Background(), tr, sp, Strategy(9), cfg); err == nil {
 		t.Fatal("unknown strategy accepted")
 	}
 	bad := cfg
 	bad.KeepPerArch = 0
-	if _, err := Run(tr, sp, Pruned, bad); err == nil {
+	if _, err := Run(context.Background(), tr, sp, Pruned, bad); err == nil {
 		t.Fatal("invalid config accepted")
 	}
 }
@@ -148,11 +149,11 @@ func TestStrategyString(t *testing.T) {
 func TestNeighborhoodExpandsAndDedups(t *testing.T) {
 	tr, sp := tinySpace(t)
 	cfg := tinyConfig()
-	pruned, err := Run(tr, sp, Pruned, cfg)
+	pruned, err := Run(context.Background(), tr, sp, Pruned, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	nbhd, err := Run(tr, sp, Neighborhood, cfg)
+	nbhd, err := Run(context.Background(), tr, sp, Neighborhood, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -4,6 +4,7 @@ package integration_test
 
 import (
 	"bytes"
+	"context"
 	"reflect"
 	"testing"
 
@@ -153,11 +154,11 @@ func TestPrunedSubsetOfFull(t *testing.T) {
 	cfg.Sampling = sampling.Config{OnWindow: 500, OffRatio: 9}
 	cfg.MaxAssignPerLevel = 8
 	cfg.KeepPerArch = 4
-	full, err := explore.Run(tr, space, explore.Full, cfg)
+	full, err := explore.Run(context.Background(), tr, space, explore.Full, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	pruned, err := explore.Run(tr, space, explore.Pruned, cfg)
+	pruned, err := explore.Run(context.Background(), tr, space, explore.Pruned, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -215,7 +216,7 @@ func TestCostComposition(t *testing.T) {
 	cfg := core.DefaultConfig()
 	cfg.Sampling = sampling.Config{OnWindow: 500, OffRatio: 9}
 	cfg.MaxAssignPerLevel = 8
-	points, _, _, err := core.ConnectivityExploration(tr, arch, cfg)
+	points, _, _, err := core.ConnectivityExploration(context.Background(), tr, arch, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -22,11 +22,13 @@
 package memorex
 
 import (
+	"context"
 	"fmt"
 
 	"memorex/internal/apex"
 	"memorex/internal/connect"
 	"memorex/internal/core"
+	"memorex/internal/engine"
 	"memorex/internal/mem"
 	"memorex/internal/pareto"
 	"memorex/internal/profile"
@@ -65,7 +67,18 @@ type (
 	SamplingConfig = sampling.Config
 	// WorkloadConfig controls benchmark trace generation.
 	WorkloadConfig = workload.Config
+	// Engine is the shared design-point evaluation engine: a bounded
+	// worker pool with a memoization cache and statistics. Put one in
+	// Options.ConEx.Engine to share the cache across runs.
+	Engine = engine.Engine
+	// EngineStats is a snapshot of the engine counters (simulations,
+	// cache hits, sampled/full accesses, per-phase wall time).
+	EngineStats = engine.Stats
 )
+
+// NewEngine returns an evaluation engine bounded to the given worker
+// count (0 = all CPUs).
+func NewEngine(workers int) *Engine { return engine.New(workers) }
 
 // Options configures a full exploration run.
 type Options struct {
@@ -104,13 +117,14 @@ type Report struct {
 }
 
 // Explore runs the full pipeline: trace generation, profiling, APEX and
-// ConEx.
-func Explore(opt Options) (*Report, error) {
+// ConEx. The context cancels the exploration between design-point
+// evaluations.
+func Explore(ctx context.Context, opt Options) (*Report, error) {
 	t, err := GenerateTrace(opt.Workload, opt.WorkloadConfig)
 	if err != nil {
 		return nil, err
 	}
-	return ExploreTrace(t, opt)
+	return ExploreTrace(ctx, t, opt)
 }
 
 // GenerateTrace runs the named benchmark and returns its memory trace.
@@ -126,7 +140,10 @@ func GenerateTrace(benchmark string, cfg workload.Config) (*trace.Trace, error) 
 }
 
 // ExploreTrace runs profiling, APEX and ConEx on an existing trace.
-func ExploreTrace(t *trace.Trace, opt Options) (*Report, error) {
+func ExploreTrace(ctx context.Context, t *trace.Trace, opt Options) (*Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if t.NumAccesses() == 0 {
 		return nil, fmt.Errorf("memorex: empty trace")
 	}
@@ -139,12 +156,16 @@ func ExploreTrace(t *trace.Trace, opt Options) (*Report, error) {
 	for _, dp := range apexRes.Selected {
 		archs = append(archs, dp.Arch)
 	}
-	conexRes, err := core.Explore(t, archs, opt.ConEx)
+	conexRes, err := core.Explore(ctx, t, archs, opt.ConEx)
 	if err != nil {
 		return nil, fmt.Errorf("memorex: ConEx failed: %w", err)
 	}
 	return &Report{Options: opt, Trace: t, Profile: prof, APEX: apexRes, ConEx: conexRes}, nil
 }
+
+// EngineStats returns the evaluation-engine statistics of the
+// exploration that produced this report.
+func (r *Report) EngineStats() EngineStats { return r.ConEx.Stats }
 
 // The paper's three constrained-selection scenarios over a report's
 // fully simulated designs.

@@ -2,6 +2,7 @@ package memorex
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"memorex/internal/apex"
@@ -27,7 +28,7 @@ func fastOptions(bench string) Options {
 
 func TestExplorePipeline(t *testing.T) {
 	opt := fastOptions("vocoder")
-	rep, err := Explore(opt)
+	rep, err := Explore(context.Background(), opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +90,7 @@ func TestGenerateTraceErrors(t *testing.T) {
 }
 
 func TestExploreTraceEmpty(t *testing.T) {
-	if _, err := ExploreTrace(&Trace{DS: nil}, fastOptions("compress")); err == nil {
+	if _, err := ExploreTrace(context.Background(), &Trace{DS: nil}, fastOptions("compress")); err == nil {
 		t.Fatal("empty trace accepted")
 	}
 }
@@ -102,7 +103,7 @@ func TestBenchmarksList(t *testing.T) {
 }
 
 func TestReportJSONRoundTrip(t *testing.T) {
-	rep, err := Explore(fastOptions("vocoder"))
+	rep, err := Explore(context.Background(), fastOptions("vocoder"))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -19,18 +19,56 @@ type DesignJSON struct {
 	OnFront      bool    `json:"on_cost_perf_front"`
 }
 
+// EngineJSON is the serialized form of the evaluation-engine
+// statistics of an exploration run.
+type EngineJSON struct {
+	Evaluations     int64           `json:"evaluations"`
+	Simulations     int64           `json:"simulations"`
+	CacheHits       int64           `json:"cache_hits"`
+	SampledAccesses int64           `json:"sampled_accesses"`
+	FullAccesses    int64           `json:"full_accesses"`
+	Phases          []PhaseWallJSON `json:"phases,omitempty"`
+}
+
+// PhaseWallJSON is one per-phase wall-time entry.
+type PhaseWallJSON struct {
+	Name   string `json:"name"`
+	WallMS int64  `json:"wall_ms"`
+	Evals  int64  `json:"evaluations"`
+	Sims   int64  `json:"simulations"`
+}
+
 // ReportJSON is the serialized form of an exploration report.
 type ReportJSON struct {
 	Benchmark string       `json:"benchmark"`
 	Accesses  int          `json:"trace_accesses"`
+	Engine    *EngineJSON  `json:"engine,omitempty"`
 	Designs   []DesignJSON `json:"designs"`
 }
 
-// WriteJSON serializes the fully simulated design points of the report.
+// WriteJSON serializes the fully simulated design points of the report
+// plus the evaluation-engine statistics of the run.
 func (r *Report) WriteJSON(w io.Writer) error {
+	st := r.EngineStats()
+	ej := &EngineJSON{
+		Evaluations:     st.Requests,
+		Simulations:     st.Simulations,
+		CacheHits:       st.CacheHits,
+		SampledAccesses: st.SampledAccesses,
+		FullAccesses:    st.FullAccesses,
+	}
+	for _, p := range st.Phases {
+		ej.Phases = append(ej.Phases, PhaseWallJSON{
+			Name:   p.Name,
+			WallMS: p.Wall.Milliseconds(),
+			Evals:  p.Requests,
+			Sims:   p.Simulations,
+		})
+	}
 	out := ReportJSON{
 		Benchmark: r.Options.Workload,
 		Accesses:  r.Trace.NumAccesses(),
+		Engine:    ej,
 	}
 	onFront := map[*core.DesignPoint]bool{}
 	for i := range r.ConEx.CostPerfFront {
