@@ -464,3 +464,38 @@ func BenchmarkSimulator(b *testing.B) {
 		b.ReportMetric(float64(r.Accesses), "accesses")
 	}
 }
+
+// BenchmarkSimulatorReplay measures the connectivity-replay throughput
+// of the two-phase simulator over the same design as BenchmarkSimulator:
+// the behavior trace is captured once, each iteration re-times it
+// against the connectivity architecture (the per-candidate work of the
+// exploration's inner loop).
+func BenchmarkSimulatorReplay(b *testing.B) {
+	tr := quickTrace(b)
+	arch := &mem.Architecture{
+		Name:    "cache8k",
+		Modules: []mem.Module{mem.MustCache(8192, 32, 2)},
+		DRAM:    mem.DefaultDRAM(),
+		Default: 0,
+	}
+	lib := connect.Library()
+	ahb, _ := connect.ByName(lib, "ahb32")
+	off, _ := connect.ByName(lib, "off32")
+	conn := &connect.Arch{
+		Channels: arch.Channels(),
+		Clusters: [][]int{{0}, {1}},
+		Assign:   []connect.Component{ahb, off},
+	}
+	bt, err := sim.CaptureBehavior(tr.Trace, arch, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := sim.Replay(bt, conn)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(r.Accesses), "accesses")
+	}
+}

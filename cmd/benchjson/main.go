@@ -1,0 +1,132 @@
+// Command benchjson converts `go test -bench` text output into a JSON
+// report of domain metrics (ns/op, cache-hit-%, latency-err-%, ...) and
+// optionally folds in a baseline report for before/after comparison.
+//
+// Usage:
+//
+//	go test -bench=. -benchmem | benchjson -out BENCH_PR2.json [-baseline file]
+//
+// The baseline file is a previous benchjson report (or a hand-seeded
+// one); its benchmark metrics are embedded under "baseline" and a
+// "speedup" map records baseline-ns/op ÷ current-ns/op per benchmark
+// present in both.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Bench is one benchmark's parsed result: its iteration count and every
+// reported metric (ns/op, B/op, allocs/op and the b.ReportMetric ones)
+// keyed by unit.
+type Bench struct {
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Report is the JSON document benchjson writes.
+type Report struct {
+	Benchmarks map[string]Bench   `json:"benchmarks"`
+	Baseline   map[string]Bench   `json:"baseline,omitempty"`
+	Speedup    map[string]float64 `json:"speedup,omitempty"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	out := flag.String("out", "", "output file (default: stdout)")
+	baseline := flag.String("baseline", "", "previous benchjson report to embed for before/after comparison")
+	flag.Parse()
+
+	rep := Report{Benchmarks: map[string]Bench{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		name, b, ok := parseLine(sc.Text())
+		if ok {
+			rep.Benchmarks[name] = b
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+	if len(rep.Benchmarks) == 0 {
+		log.Fatal("no benchmark lines found on stdin")
+	}
+
+	if *baseline != "" {
+		data, err := os.ReadFile(*baseline)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var base Report
+		if err := json.Unmarshal(data, &base); err != nil {
+			log.Fatalf("%s: %v", *baseline, err)
+		}
+		rep.Baseline = base.Benchmarks
+		rep.Speedup = map[string]float64{}
+		for name, b := range base.Benchmarks {
+			cur, ok := rep.Benchmarks[name]
+			if !ok {
+				continue
+			}
+			before, after := b.Metrics["ns/op"], cur.Metrics["ns/op"]
+			if before > 0 && after > 0 {
+				rep.Speedup[name] = before / after
+			}
+		}
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("wrote", *out)
+}
+
+// parseLine parses one benchmark result line of `go test -bench` output:
+//
+//	BenchmarkFigure4-8   3   812345678 ns/op   58.00 cloud-designs   ...
+//
+// The -N GOMAXPROCS suffix is stripped from the name. Non-benchmark
+// lines report ok=false.
+func parseLine(line string) (string, Bench, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", Bench{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return "", Bench{}, false
+	}
+	b := Bench{Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", Bench{}, false
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return name, b, true
+}

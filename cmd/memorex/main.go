@@ -7,6 +7,7 @@
 //
 //	memorex [-bench compress|li|vocoder] [-scale N] [-seed N] [-workers N]
 //	        [-keep N] [-cap N] [-scenario power|cost|perf] [-limit V]
+//	        [-exact] [-cpuprofile file] [-memprofile file]
 //
 // Ctrl-C cancels the exploration between design-point evaluations.
 package main
@@ -18,6 +19,8 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -41,7 +44,37 @@ func main() {
 	emitDir := flag.String("emit", "", "write each cost/perf front design as an ADL file into this directory")
 	libPath := flag.String("lib", "", "JSON connectivity IP library to explore with (default: built-in)")
 	dumpLib := flag.String("dumplib", "", "write the built-in connectivity library as JSON to this file and exit")
+	exact := flag.Bool("exact", false, "use the one-phase exact simulator instead of behavior-trace replay")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				log.Fatalf("memprofile: %v", err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatalf("memprofile: %v", err)
+			}
+		}()
+	}
 
 	if *dumpLib != "" {
 		f, err := os.Create(*dumpLib)
@@ -66,6 +99,7 @@ func main() {
 	opt.ConEx.Engine = memorex.NewEngine(*workers)
 	opt.ConEx.KeepPerArch = *keep
 	opt.ConEx.MaxAssignPerLevel = *assignCap
+	opt.ConEx.Exact = *exact
 	if *libPath != "" {
 		f, err := os.Open(*libPath)
 		if err != nil {

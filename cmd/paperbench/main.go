@@ -4,7 +4,8 @@
 // Usage:
 //
 //	paperbench [-exp fig3|fig4|fig6|fige|tab1|tab2|all] [-preset paper|quick]
-//	           [-workers N] [-stats]
+//	           [-workers N] [-stats] [-exact]
+//	           [-cpuprofile file] [-memprofile file]
 //
 // The figure experiments share one evaluation engine, so design points
 // simulated for an earlier figure are served from the memoization cache
@@ -20,6 +21,8 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"memorex/internal/experiments"
@@ -32,7 +35,37 @@ func main() {
 	preset := flag.String("preset", "paper", "sizing preset: paper or quick")
 	workers := flag.Int("workers", 0, "evaluation worker pool size (0 = all CPUs)")
 	stats := flag.Bool("stats", true, "print evaluation-engine statistics after each experiment")
+	exact := flag.Bool("exact", false, "use the one-phase exact simulator instead of behavior-trace replay")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				log.Fatalf("memprofile: %v", err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatalf("memprofile: %v", err)
+			}
+		}()
+	}
 
 	var opt experiments.Options
 	switch *preset {
@@ -47,6 +80,10 @@ func main() {
 		opt.ConEx.Workers = *workers
 		opt.ConEx.Engine = nil // rebuilt below with the requested bound
 		opt.Table2ConEx.Workers = *workers
+	}
+	if *exact {
+		opt.ConEx.Exact = true
+		opt.Table2ConEx.Exact = true
 	}
 	if opt.ConEx.Engine == nil {
 		opt.ConEx.Engine = opt.ConEx.EngineOrNew()

@@ -68,6 +68,13 @@ type Config struct {
 	// repeated simulations of equivalent designs. When nil, each
 	// Explore call builds a private engine from Workers.
 	Engine *engine.Engine
+	// Exact forces the one-phase simulator that re-runs the memory
+	// modules for every connectivity candidate, instead of the default
+	// two-phase capture-and-replay path. Replay is exact for full
+	// simulations of non-prefetching architectures and within the
+	// fidelity tolerance everywhere else; Exact exists as the reference
+	// fallback.
+	Exact bool
 }
 
 // DefaultConfig returns the configuration used by the experiments.
@@ -185,6 +192,7 @@ func connectivityExploration(ctx context.Context, eng *engine.Engine, t *trace.T
 			Conn:     conn,
 			Mode:     engine.Sampled,
 			Sampling: cfg.Sampling,
+			Exact:    cfg.Exact,
 			Phase:    phaseEstimate,
 		}
 	}
@@ -286,6 +294,7 @@ func Explore(ctx context.Context, t *trace.Trace, memArchs []*mem.Architecture, 
 			Mem:   phase2[i].MemArch,
 			Conn:  phase2[i].Conn,
 			Mode:  engine.Full,
+			Exact: cfg.Exact,
 			Phase: phaseFullSim,
 		}
 	}

@@ -504,3 +504,59 @@ func TestSelectLocalKeepOne(t *testing.T) {
 		t.Fatalf("keep=1 returned %d designs", len(got))
 	}
 }
+
+// TestExactReplayFrontEquivalence is the acceptance gate for the
+// two-phase simulator at the exploration level: the pareto fronts
+// selected with the default capture-and-replay evaluation must match
+// the ones the exact one-phase simulator selects, with per-point
+// metrics within the replay fidelity tolerance.
+func TestExactReplayFrontEquivalence(t *testing.T) {
+	tr := smallTrace()
+	archs := func() []*mem.Architecture {
+		return []*mem.Architecture{
+			testArch(),
+			{
+				Name:    "cache-only",
+				Modules: []mem.Module{mem.MustCache(8192, 32, 2)},
+				DRAM:    mem.DefaultDRAM(),
+				Default: 0,
+			},
+		}
+	}
+	run := func(exact bool) *Result {
+		cfg := fastConfig()
+		cfg.Exact = exact
+		res, err := Explore(context.Background(), tr, archs(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	replay, exact := run(false), run(true)
+	if len(replay.CostPerfFront) != len(exact.CostPerfFront) {
+		t.Fatalf("front sizes differ: replay %d vs exact %d",
+			len(replay.CostPerfFront), len(exact.CostPerfFront))
+	}
+	// Sampled Phase I estimates can rank near-tied candidates
+	// differently across the two paths, so the fronts need not pick
+	// identical designs — but each replay-selected point must be an
+	// equally good design: its metrics within the fidelity tolerance of
+	// the exact front's point at the same position.
+	const tol = 0.02
+	for i := range exact.CostPerfFront {
+		r, e := replay.CostPerfFront[i], exact.CostPerfFront[i]
+		if r.Label() != e.Label() {
+			t.Logf("front[%d] selected different designs:\n  replay: %s\n  exact:  %s",
+				i, r.Label(), e.Label())
+		}
+		if d := r.Cost - e.Cost; d > e.Cost*tol || d < -e.Cost*tol {
+			t.Errorf("front[%d] cost %.1f vs exact %.1f", i, r.Cost, e.Cost)
+		}
+		if d := r.Latency - e.Latency; d > e.Latency*tol || d < -e.Latency*tol {
+			t.Errorf("front[%d] latency %.4f vs exact %.4f", i, r.Latency, e.Latency)
+		}
+		if d := r.Energy - e.Energy; d > e.Energy*tol || d < -e.Energy*tol {
+			t.Errorf("front[%d] energy %.4f vs exact %.4f", i, r.Energy, e.Energy)
+		}
+	}
+}

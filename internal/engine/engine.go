@@ -72,6 +72,12 @@ type Request struct {
 	// Sampling configures the estimator; used only when Mode is
 	// Sampled (and part of the memoization key then).
 	Sampling sampling.Config
+	// Exact forces the one-phase simulator that re-runs the memory
+	// modules for every connectivity candidate. The default (false)
+	// uses the two-phase path: module behavior is captured once per
+	// (trace, memory architecture, sampling plan) and each candidate is
+	// a fast connectivity replay of that event trace.
+	Exact bool
 	// Phase optionally attributes the evaluation to a named phase in
 	// the engine statistics.
 	Phase string
@@ -124,6 +130,11 @@ type Stats struct {
 	// simulated in each mode (the exploration's work measure).
 	SampledAccesses int64
 	FullAccesses    int64
+	// BehaviorCaptures counts Phase A module-behavior runs;
+	// BehaviorCacheHits counts evaluations whose replay reused an
+	// already-captured event trace.
+	BehaviorCaptures  int64
+	BehaviorCacheHits int64
 	// Phases lists per-phase wall times and counters in first-use
 	// order.
 	Phases []PhaseStat
@@ -135,6 +146,10 @@ func (s Stats) String() string {
 	out := fmt.Sprintf("engine: %d evaluations, %d simulations (%d sampled + %d full), %d cache hits; %d sampled + %d full accesses",
 		s.Requests, s.Simulations, s.SampledSimulations, s.FullSimulations,
 		s.CacheHits, s.SampledAccesses, s.FullAccesses)
+	if s.BehaviorCaptures > 0 || s.BehaviorCacheHits > 0 {
+		out += fmt.Sprintf("; %d behavior captures, %d behavior reuses",
+			s.BehaviorCaptures, s.BehaviorCacheHits)
+	}
 	for _, p := range s.Phases {
 		out += fmt.Sprintf("\n  phase %-18s %10v  %6d evals  %6d sims",
 			p.Name, p.Wall.Round(time.Millisecond), p.Requests, p.Simulations)
@@ -154,18 +169,29 @@ type entry struct {
 	err  error
 }
 
+// behaviorEntry is one Phase A memoization slot (single-flight, like
+// entry): the captured module-behavior event trace of one
+// (trace, memory architecture, sampling plan).
+type behaviorEntry struct {
+	done chan struct{}
+	bt   *sim.BehaviorTrace
+	work int64
+	err  error
+}
+
 // Engine is the shared evaluator. It is safe for concurrent use; one
 // engine can (and should) be shared across exploration phases,
 // strategies and experiments so the memo cache works across them.
 type Engine struct {
 	workers int
 
-	mu      sync.Mutex
-	cache   map[uint64]*entry
-	traceFP map[*trace.Trace]uint64
-	memFP   map[*mem.Architecture]uint64
-	stats   Stats
-	phase   map[string]int // phase name -> index into stats.Phases
+	mu       sync.Mutex
+	cache    map[uint64]*entry
+	behavior map[uint64]*behaviorEntry
+	traceFP  map[*trace.Trace]uint64
+	memFP    map[*mem.Architecture]uint64
+	stats    Stats
+	phase    map[string]int // phase name -> index into stats.Phases
 }
 
 // New returns an engine bounded to the given worker count
@@ -175,11 +201,12 @@ func New(workers int) *Engine {
 		workers = DefaultWorkers()
 	}
 	return &Engine{
-		workers: workers,
-		cache:   map[uint64]*entry{},
-		traceFP: map[*trace.Trace]uint64{},
-		memFP:   map[*mem.Architecture]uint64{},
-		phase:   map[string]int{},
+		workers:  workers,
+		cache:    map[uint64]*entry{},
+		behavior: map[uint64]*behaviorEntry{},
+		traceFP:  map[*trace.Trace]uint64{},
+		memFP:    map[*mem.Architecture]uint64{},
+		phase:    map[string]int{},
 	}
 }
 
@@ -319,7 +346,7 @@ func (e *Engine) evaluate(ctx context.Context, r Request) (Value, error) {
 	e.cache[key] = ent
 	e.mu.Unlock()
 
-	v, err := e.simulate(r)
+	v, err := e.simulate(ctx, r)
 	if err != nil {
 		ent.err = err
 		e.mu.Lock()
@@ -346,9 +373,38 @@ func (e *Engine) evaluate(ctx context.Context, r Request) (Value, error) {
 	return v, nil
 }
 
-// simulate runs the actual simulator for a request (no caching).
-func (e *Engine) simulate(r Request) (Value, error) {
+// simulate runs the actual simulator for a request (no caching of the
+// final value; the Phase A behavior trace is memoized internally).
+func (e *Engine) simulate(ctx context.Context, r Request) (Value, error) {
 	cost := r.Mem.Gates() + r.Conn.Gates()
+	if r.Exact {
+		return e.simulateExact(r, cost)
+	}
+	switch r.Mode {
+	case Sampled, Full:
+	default:
+		return Value{}, fmt.Errorf("engine: unknown evaluation mode %d", r.Mode)
+	}
+	bt, err := e.behaviorTrace(ctx, r)
+	if err != nil {
+		return Value{}, err
+	}
+	res, err := sim.Replay(bt, r.Conn)
+	if err != nil {
+		return Value{}, err
+	}
+	return Value{
+		Cost:      cost,
+		Latency:   res.AvgLatency(),
+		Energy:    res.AvgEnergy(),
+		Estimated: r.Mode == Sampled,
+		Work:      res.Accesses,
+	}, nil
+}
+
+// simulateExact is the one-phase fallback: the full module + connectivity
+// simulation the engine ran before the two-phase split.
+func (e *Engine) simulateExact(r Request, cost float64) (Value, error) {
 	switch r.Mode {
 	case Sampled:
 		res, simulated, err := sampling.Estimate(r.Trace, r.Mem, r.Conn, r.Sampling)
@@ -380,4 +436,58 @@ func (e *Engine) simulate(r Request) (Value, error) {
 	default:
 		return Value{}, fmt.Errorf("engine: unknown evaluation mode %d", r.Mode)
 	}
+}
+
+// behaviorTrace returns the Phase A event trace of a request, capturing
+// it on first use and serving concurrent duplicates single-flight.
+func (e *Engine) behaviorTrace(ctx context.Context, r Request) (*sim.BehaviorTrace, error) {
+	key := e.behaviorKey(r)
+	e.mu.Lock()
+	if ent, ok := e.behavior[key]; ok {
+		e.mu.Unlock()
+		select {
+		case <-ent.done:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		if ent.err != nil {
+			return nil, ent.err
+		}
+		e.mu.Lock()
+		e.stats.BehaviorCacheHits++
+		e.mu.Unlock()
+		return ent.bt, nil
+	}
+	ent := &behaviorEntry{done: make(chan struct{})}
+	e.behavior[key] = ent
+	e.mu.Unlock()
+
+	ent.bt, ent.err = e.captureBehavior(r)
+	if ent.err != nil {
+		e.mu.Lock()
+		delete(e.behavior, key) // failures are not memoized
+		e.mu.Unlock()
+	} else {
+		e.mu.Lock()
+		e.stats.BehaviorCaptures++
+		e.mu.Unlock()
+	}
+	close(ent.done)
+	return ent.bt, ent.err
+}
+
+// captureBehavior runs Phase A for a request: the whole trace in Full
+// mode, the sampling plan's on-windows in Sampled mode.
+func (e *Engine) captureBehavior(r Request) (*sim.BehaviorTrace, error) {
+	var windows []sim.Window
+	if r.Mode == Sampled {
+		if err := r.Sampling.Validate(); err != nil {
+			return nil, err
+		}
+		windows = sampling.Plan(r.Trace.NumAccesses(), r.Sampling)
+		if len(windows) == 0 {
+			return nil, fmt.Errorf("sampling: empty trace")
+		}
+	}
+	return sim.CaptureBehavior(r.Trace, r.Mem, windows)
 }

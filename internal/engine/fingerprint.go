@@ -28,6 +28,22 @@ func (e *Engine) key(r Request) uint64 {
 	writeU64(h, e.memFingerprint(r.Mem))
 	writeU64(h, connFingerprint(r.Conn))
 	writeU64(h, uint64(r.Mode))
+	writeBool(h, r.Exact)
+	if r.Mode == Sampled {
+		writeU64(h, uint64(r.Sampling.OnWindow))
+		writeU64(h, uint64(r.Sampling.OffRatio))
+	}
+	return h.Sum64()
+}
+
+// behaviorKey computes the memoization key of a Phase A behavior
+// capture: like key, but without the connectivity architecture — that
+// independence is the whole point of the two-phase split.
+func (e *Engine) behaviorKey(r Request) uint64 {
+	h := fnv.New64a()
+	writeU64(h, e.traceFingerprint(r.Trace))
+	writeU64(h, e.memFingerprint(r.Mem))
+	writeU64(h, uint64(r.Mode))
 	if r.Mode == Sampled {
 		writeU64(h, uint64(r.Sampling.OnWindow))
 		writeU64(h, uint64(r.Sampling.OffRatio))

@@ -271,6 +271,7 @@ func connectivityNeighbors(ctx context.Context, eng *engine.Engine, t *trace.Tra
 			Mem:   jobs[i].arch,
 			Conn:  jobs[i].conn,
 			Mode:  engine.Full,
+			Exact: cfg.Exact,
 			Phase: "explore/neighborhood",
 		}
 	}
@@ -322,6 +323,7 @@ func runFull(ctx context.Context, eng *engine.Engine, t *trace.Trace, memArchs [
 			Mem:   jobs[i].arch,
 			Conn:  jobs[i].conn,
 			Mode:  engine.Full,
+			Exact: cfg.Exact,
 			Phase: "explore/full-space",
 		}
 	}

@@ -105,6 +105,13 @@ func (d *SelfIndirectDMA) Clone() Module {
 	return c
 }
 
+// SinceLastTouch returns the cycles elapsed since the engine was last
+// touched (now if it never was). The behavior-capture phase of the
+// two-phase simulator snapshots this across sampling gaps.
+func (d *SelfIndirectDMA) SinceLastTouch(now int64) int64 {
+	return now - d.lastTouch
+}
+
 // Access implements Module.
 func (d *SelfIndirectDMA) Access(a trace.Access, now int64) AccessResult {
 	defer func() { d.lastTouch = now }()

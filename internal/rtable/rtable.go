@@ -9,6 +9,7 @@ package rtable
 
 import (
 	"fmt"
+	"math/bits"
 	"strings"
 )
 
@@ -214,40 +215,90 @@ func (s *Scheduler) advance(t int64) {
 	s.base += int64(shiftWords * 64)
 }
 
-func (s *Scheduler) busy(res int, t int64) bool {
-	if t < s.base {
-		return false // history outside the window is forgotten
+// maskFrom returns a word mask covering n bits starting at bit
+// (bit+n <= 64).
+func maskFrom(bit uint, n int) uint64 {
+	if n >= 64 {
+		return ^uint64(0)
 	}
-	off := t - s.base
-	w := int(off / 64)
-	if w >= s.words {
-		return false
-	}
-	return s.window[res][w]&(1<<uint(off%64)) != 0
+	return (uint64(1)<<uint(n) - 1) << bit
 }
 
-func (s *Scheduler) mark(res int, t int64) {
+// firstBusy returns the absolute cycle of the first reserved cycle of
+// res in [t, t+n), or -1 when the whole range is free. Cycles outside
+// the window (forgotten history, far future) read as free.
+func (s *Scheduler) firstBusy(res int, t int64, n int) int64 {
+	if n <= 0 {
+		return -1
+	}
 	if t < s.base {
-		return
-	}
-	off := t - s.base
-	w := int(off / 64)
-	if w >= s.words {
-		return
-	}
-	s.window[res][w] |= 1 << uint(off%64)
-}
-
-// fits reports whether the stages can issue at absolute cycle t.
-func (s *Scheduler) fits(t int64, stages []Stage) bool {
-	for _, st := range stages {
-		for c := 0; c < st.Len; c++ {
-			if s.busy(st.Res, t+int64(st.Start+c)) {
-				return false
-			}
+		skip := s.base - t
+		if skip >= int64(n) {
+			return -1
 		}
+		t = s.base
+		n -= int(skip)
 	}
-	return true
+	off := t - s.base
+	w := int(off >> 6)
+	bit := uint(off & 63)
+	row := s.window[res]
+	for n > 0 && w < s.words {
+		take := 64 - int(bit)
+		if take > n {
+			take = n
+		}
+		if hit := row[w] & maskFrom(bit, take); hit != 0 {
+			return s.base + int64(w)<<6 + int64(bits.TrailingZeros64(hit))
+		}
+		n -= take
+		w++
+		bit = 0
+	}
+	return -1
+}
+
+// busyRunEnd returns the last cycle of the contiguous reserved run of
+// res containing cycle c (which must be reserved and in the window).
+func (s *Scheduler) busyRunEnd(res int, c int64) int64 {
+	off := c - s.base
+	w := int(off >> 6)
+	bit := uint(off & 63)
+	row := s.window[res]
+	for w < s.words {
+		if free := ^row[w] >> bit << bit; free != 0 {
+			return s.base + int64(w)<<6 + int64(bits.TrailingZeros64(free)) - 1
+		}
+		w++
+		bit = 0
+	}
+	return s.base + int64(s.words)<<6 - 1
+}
+
+// markRange reserves the cycles [t, t+n) of res, clamped to the window.
+func (s *Scheduler) markRange(res int, t int64, n int) {
+	if t < s.base {
+		skip := s.base - t
+		if skip >= int64(n) {
+			return
+		}
+		t = s.base
+		n -= int(skip)
+	}
+	off := t - s.base
+	w := int(off >> 6)
+	bit := uint(off & 63)
+	row := s.window[res]
+	for n > 0 && w < s.words {
+		take := 64 - int(bit)
+		if take > n {
+			take = n
+		}
+		row[w] |= maskFrom(bit, take)
+		n -= take
+		w++
+		bit = 0
+	}
 }
 
 // EarliestIssue returns the first cycle >= at where stages can be
@@ -268,14 +319,27 @@ func (s *Scheduler) EarliestIssue(at int64, stages []Stage) int64 {
 	}
 	s.advance(at + int64(maxEnd))
 	t := at
-	for !s.fits(t, stages) {
-		t++
-		s.advance(t + int64(maxEnd))
+search:
+	for {
+		for _, st := range stages {
+			c := s.firstBusy(st.Res, t+int64(st.Start), st.Len)
+			if c < 0 {
+				continue
+			}
+			// The stage overlaps a reserved run; no issue slot clears it
+			// before the run ends, so jump straight past.
+			next := s.busyRunEnd(st.Res, c) - int64(st.Start) + 1
+			if next <= t {
+				next = t + 1
+			}
+			t = next
+			s.advance(t + int64(maxEnd))
+			continue search
+		}
+		break
 	}
 	for _, st := range stages {
-		for c := 0; c < st.Len; c++ {
-			s.mark(st.Res, t+int64(st.Start+c))
-		}
+		s.markRange(st.Res, t+int64(st.Start), st.Len)
 	}
 	return t
 }
@@ -285,17 +349,29 @@ func (s *Scheduler) EarliestIssue(at int64, stages []Stage) int64 {
 // slave's dead time.
 func (s *Scheduler) Release(t int64, stages []Stage) {
 	for _, st := range stages {
-		for c := 0; c < st.Len; c++ {
-			abs := t + int64(st.Start+c)
-			if abs < s.base {
+		abs := t + int64(st.Start)
+		n := st.Len
+		if abs < s.base {
+			skip := s.base - abs
+			if skip >= int64(n) {
 				continue
 			}
-			off := abs - s.base
-			w := int(off / 64)
-			if w >= s.words {
-				continue
+			abs = s.base
+			n -= int(skip)
+		}
+		off := abs - s.base
+		w := int(off >> 6)
+		bit := uint(off & 63)
+		row := s.window[st.Res]
+		for n > 0 && w < s.words {
+			take := 64 - int(bit)
+			if take > n {
+				take = n
 			}
-			s.window[st.Res][w] &^= 1 << uint(off%64)
+			row[w] &^= maskFrom(bit, take)
+			n -= take
+			w++
+			bit = 0
 		}
 	}
 }

@@ -41,6 +41,27 @@ func (c Config) Validate() error {
 	return nil
 }
 
+// Plan returns the on-sampling windows the estimator fully simulates
+// for a trace of n accesses: every window covers cfg.OnWindow accesses
+// (the last may be shorter), separated by OnWindow*OffRatio skipped
+// accesses. The two-phase engine captures module behavior over exactly
+// this plan so connectivity replays reproduce the estimator's windows.
+func Plan(n int, cfg Config) []sim.Window {
+	period := cfg.OnWindow * (1 + cfg.OffRatio)
+	if period <= 0 {
+		return nil
+	}
+	windows := make([]sim.Window, 0, (n+period-1)/period)
+	for pos := 0; pos < n; pos += period {
+		hi := pos + cfg.OnWindow
+		if hi > n {
+			hi = n
+		}
+		windows = append(windows, sim.Window{Lo: pos, Hi: hi})
+	}
+	return windows
+}
+
 // Estimate runs the time-sampled simulation of the trace against the
 // given architectures and returns the sampled result plus the number of
 // accesses actually simulated (the exploration's work measure).
@@ -56,24 +77,19 @@ func Estimate(t *trace.Trace, memArch *mem.Architecture, connArch *connect.Arch,
 	var simulated int64
 	var last *sim.Result
 	pos := 0
-	for pos < n {
-		hi := pos + cfg.OnWindow
-		if hi > n {
-			hi = n
+	for _, w := range Plan(n, cfg) {
+		if w.Lo > pos {
+			s.SkipWindow(t, pos, w.Lo)
 		}
-		last, err = s.RunWindow(t, pos, hi)
+		last, err = s.RunWindow(t, w.Lo, w.Hi)
 		if err != nil {
 			return nil, 0, err
 		}
-		simulated += int64(hi - pos)
-		pos = hi
-		skip := cfg.OnWindow * cfg.OffRatio
-		hi = pos + skip
-		if hi > n {
-			hi = n
-		}
-		s.SkipWindow(t, pos, hi)
-		pos = hi
+		simulated += int64(w.Hi - w.Lo)
+		pos = w.Hi
+	}
+	if pos < n {
+		s.SkipWindow(t, pos, n)
 	}
 	if last == nil {
 		return nil, 0, fmt.Errorf("sampling: empty trace")

@@ -11,6 +11,7 @@ package sim
 
 import (
 	"fmt"
+	"math/bits"
 
 	"memorex/internal/connect"
 	"memorex/internal/mem"
@@ -94,31 +95,26 @@ func (r *Result) Add(o *Result) {
 	r.Hits += o.Hits
 	r.Misses += o.Misses
 	r.OffChipBytes += o.OffChipBytes
-	if r.ChannelBytes == nil {
-		r.ChannelBytes = make([]int64, len(o.ChannelBytes))
-	}
-	for i := range o.ChannelBytes {
-		if i < len(r.ChannelBytes) {
-			r.ChannelBytes[i] += o.ChannelBytes[i]
-		}
-	}
-	if r.ChannelWait == nil {
-		r.ChannelWait = make([]int64, len(o.ChannelWait))
-		r.ChannelTransfers = make([]int64, len(o.ChannelTransfers))
-	}
-	for i := range o.ChannelWait {
-		if i < len(r.ChannelWait) {
-			r.ChannelWait[i] += o.ChannelWait[i]
-		}
-	}
-	for i := range o.ChannelTransfers {
-		if i < len(r.ChannelTransfers) {
-			r.ChannelTransfers[i] += o.ChannelTransfers[i]
-		}
-	}
+	r.ChannelBytes = addChannelCounts(r.ChannelBytes, o.ChannelBytes)
+	r.ChannelWait = addChannelCounts(r.ChannelWait, o.ChannelWait)
+	r.ChannelTransfers = addChannelCounts(r.ChannelTransfers, o.ChannelTransfers)
 	for i := range o.LatencyHist {
 		r.LatencyHist[i] += o.LatencyHist[i]
 	}
+}
+
+// addChannelCounts accumulates o into dst element-wise, growing dst when
+// the operand covers more channels than the receiver has seen so far.
+func addChannelCounts(dst, o []int64) []int64 {
+	if len(o) > len(dst) {
+		grown := make([]int64, len(o))
+		copy(grown, dst)
+		dst = grown
+	}
+	for i := range o {
+		dst[i] += o[i]
+	}
+	return dst
 }
 
 // Simulator drives one architecture against a trace. Create one per run;
@@ -127,6 +123,12 @@ type Simulator struct {
 	memArch  *mem.Architecture
 	connArch *connect.Arch
 	channels []mem.Channel
+
+	// routeTab flattens memArch's route map into a dense per-DSID table
+	// (routeDef for IDs beyond it), so the per-access hot path avoids a
+	// map lookup.
+	routeTab []int16
+	routeDef int16
 
 	// cpuChan[m] is the channel index of module m's CPU link;
 	// backChan[m] of its backing link (to DRAM, or to the shared L2
@@ -211,6 +213,7 @@ func New(memArch *mem.Architecture, connArch *connect.Arch) (*Simulator, error) 
 		directChan: -1,
 		l2DRAMChan: -1,
 	}
+	s.routeTab, s.routeDef = buildRouteTable(memArch)
 	for i := range s.backChan {
 		s.backChan[i] = -1
 	}
@@ -262,6 +265,15 @@ func (s *Simulator) sched(ch int) *rtable.Scheduler {
 	return s.scheds[s.connArch.ComponentOf(ch)]
 }
 
+// routeOf returns the module index serving ds (negative for direct
+// DRAM), through the precomputed dense table.
+func (s *Simulator) routeOf(ds trace.DSID) int {
+	if int(ds) < len(s.routeTab) {
+		return int(s.routeTab[ds])
+	}
+	return int(s.routeDef)
+}
+
 // Run replays the whole trace and returns the accumulated result.
 func (s *Simulator) Run(t *trace.Trace) (*Result, error) {
 	return s.RunWindow(t, 0, t.NumAccesses())
@@ -292,8 +304,8 @@ func (s *Simulator) RunWindow(t *trace.Trace, lo, hi int) (*Result, error) {
 func (s *Simulator) SkipWindow(t *trace.Trace, lo, hi int) {
 	for i := lo; i < hi; i++ {
 		a := t.Accesses[i]
-		route := s.memArch.RouteOf(a.DS)
-		if route == mem.DirectDRAM {
+		route := s.routeOf(a.DS)
+		if route < 0 {
 			s.now += 8
 			continue
 		}
@@ -313,8 +325,8 @@ func (s *Simulator) SkipWindow(t *trace.Trace, lo, hi int) {
 
 // access simulates one access and returns its latency in cycles.
 func (s *Simulator) access(a trace.Access) int {
-	route := s.memArch.RouteOf(a.DS)
-	if route == mem.DirectDRAM {
+	route := s.routeOf(a.DS)
+	if route < 0 {
 		done, energy := s.offChipTransaction(s.directChan, int(a.Size), a.Addr, s.now)
 		s.res.Misses++
 		s.res.EnergyNJ += energy
@@ -433,10 +445,12 @@ func (s *Simulator) offChipTransaction(ch, n int, addr uint32, at int64) (int64,
 
 // latBucket maps a latency to its log2 histogram bucket.
 func latBucket(lat int) int {
-	b := 0
-	for lat > 1 && b < 23 {
-		lat >>= 1
-		b++
+	if lat <= 1 {
+		return 0
+	}
+	b := bits.Len32(uint32(lat)) - 1
+	if b > 23 {
+		b = 23
 	}
 	return b
 }
