@@ -22,6 +22,7 @@ import (
 	"memorex/internal/experiments"
 	"memorex/internal/explore"
 	"memorex/internal/mem"
+	"memorex/internal/obs"
 	"memorex/internal/pareto"
 	"memorex/internal/sampling"
 	"memorex/internal/sim"
@@ -134,7 +135,7 @@ func BenchmarkTable2(b *testing.B) {
 	}
 }
 
-// --- Ablations (design choices called out in DESIGN.md section 6) ----
+// --- Ablations (design choices called out in DESIGN.md section 7) ----
 
 // quickTrace is the shared compress slice used by the ablations.
 func quickTrace(b *testing.B) *workloadTrace {
@@ -497,5 +498,30 @@ func BenchmarkSimulatorReplay(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.ReportMetric(float64(r.Accesses), "accesses")
+	}
+}
+
+// BenchmarkInstrumentedExploration is BenchmarkFigure4 with the full
+// observability stack attached — event ring, JSONL-equivalent fan-out
+// and metrics registry — so the before/after reports quantify the
+// enabled-path overhead, and the registry's eval-latency histograms
+// surface in the bench JSON via ReportMetric.
+func BenchmarkInstrumentedExploration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ring := obs.NewRing(1 << 16)
+		reg := obs.NewRegistry()
+		opt := experiments.Quick()
+		opt.ConEx.Engine = engine.New(0,
+			engine.WithObserver(obs.NewObserver(ring)),
+			engine.WithMetrics(reg))
+		if _, err := experiments.Figure4(context.Background(), opt); err != nil {
+			b.Fatal(err)
+		}
+		snap := reg.Snapshot()
+		h := snap.Histograms["engine/eval_wall_us/sampled"]
+		b.ReportMetric(float64(ring.Total()), "events")
+		b.ReportMetric(h.P50, "eval-p50-us")
+		b.ReportMetric(h.P95, "eval-p95-us")
+		b.ReportMetric(h.P99, "eval-p99-us")
 	}
 }

@@ -11,37 +11,31 @@ import (
 	"fmt"
 	"log"
 	"sort"
-	"strings"
 
-	"memorex"
 	"memorex/internal/apex"
+	"memorex/internal/cliutil"
 	"memorex/internal/profile"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("apex: ")
-	bench := flag.String("bench", "compress", "benchmark: "+strings.Join(memorex.Benchmarks(), ", "))
-	scale := flag.Int("scale", 1, "workload scale factor")
-	seed := flag.Int64("seed", 42, "workload seed")
+	cliutil.Init("apex")
+	var wl cliutil.WorkloadFlags
+	wl.Register(flag.CommandLine)
 	all := flag.Bool("all", false, "print every evaluated design, not only the selection")
 	flag.Parse()
 
-	cfg := memorex.DefaultOptions(*bench)
-	cfg.WorkloadConfig.Scale = *scale
-	cfg.WorkloadConfig.Seed = *seed
-	tr, err := memorex.GenerateTrace(*bench, cfg.WorkloadConfig)
+	tr, err := wl.Load()
 	if err != nil {
 		log.Fatal(err)
 	}
 	prof := profile.Analyze(tr)
-	res, err := apex.Explore(tr, prof, cfg.APEX)
+	res, err := apex.Explore(tr, prof, apex.DefaultConfig())
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Printf("%s: %d designs evaluated (%d simulated accesses)\n",
-		*bench, len(res.All), res.EvaluatedAccesses)
+		wl.Bench, len(res.All), res.EvaluatedAccesses)
 	if *all {
 		sorted := append([]apex.DesignPoint(nil), res.All...)
 		sort.Slice(sorted, func(i, j int) bool { return sorted[i].Gates < sorted[j].Gates })

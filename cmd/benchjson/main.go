@@ -21,6 +21,8 @@ import (
 	"os"
 	"strconv"
 	"strings"
+
+	"memorex/internal/cliutil"
 )
 
 // Bench is one benchmark's parsed result: its iteration count and every
@@ -39,8 +41,7 @@ type Report struct {
 }
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("benchjson: ")
+	cliutil.Init("benchjson")
 	out := flag.String("out", "", "output file (default: stdout)")
 	baseline := flag.String("baseline", "", "previous benchjson report to embed for before/after comparison")
 	flag.Parse()

@@ -6,36 +6,36 @@
 // Usage:
 //
 //	conex [-bench compress|li|vocoder] [-arch N] [-scale N] [-seed N]
+//	      [-events FILE] [-progress] [-debug-addr ADDR]
 package main
 
 import (
-	"context"
 	"flag"
 	"fmt"
 	"log"
-	"os"
-	"os/signal"
 	"sort"
 	"strings"
 
 	"memorex"
 	"memorex/internal/apex"
+	"memorex/internal/cliutil"
 	"memorex/internal/core"
+	"memorex/internal/engine"
+	"memorex/internal/obs"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("conex: ")
-	bench := flag.String("bench", "compress", "benchmark: "+strings.Join(memorex.Benchmarks(), ", "))
+	cliutil.Init("conex")
+	var wl cliutil.WorkloadFlags
+	var ob cliutil.ObsFlags
+	wl.Register(flag.CommandLine)
+	ob.Register(flag.CommandLine)
 	archIdx := flag.Int("arch", 0, "index into the APEX selection")
-	scale := flag.Int("scale", 1, "workload scale factor")
-	seed := flag.Int64("seed", 42, "workload seed")
 	flag.Parse()
 
-	opt := memorex.DefaultOptions(*bench)
-	opt.WorkloadConfig.Scale = *scale
-	opt.WorkloadConfig.Seed = *seed
-	tr, err := memorex.GenerateTrace(*bench, opt.WorkloadConfig)
+	opt := memorex.DefaultOptions(wl.Bench)
+	opt.WorkloadConfig = wl.Config()
+	tr, err := memorex.GenerateTrace(wl.Bench, opt.WorkloadConfig)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -75,7 +75,20 @@ func main() {
 		fmt.Println()
 	}
 
-	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	observer, closeObs, err := ob.Observer()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := closeObs(); err != nil {
+			log.Printf("events: %v", err)
+		}
+	}()
+	reg := obs.NewRegistry()
+	opt.ConEx.Engine = engine.New(0, engine.WithObserver(observer), engine.WithMetrics(reg))
+	ob.ServeDebug(reg.Snapshot)
+
+	ctx, cancel := cliutil.SignalContext()
 	defer cancel()
 	points, work, dropped, err := core.ConnectivityExploration(ctx, tr, arch, opt.ConEx)
 	if err != nil {

@@ -7,35 +7,38 @@
 //
 //	memorex [-bench compress|li|vocoder] [-scale N] [-seed N] [-workers N]
 //	        [-keep N] [-cap N] [-scenario power|cost|perf] [-limit V]
-//	        [-exact] [-cpuprofile file] [-memprofile file]
+//	        [-exact] [-events FILE] [-progress] [-debug-addr ADDR]
+//	        [-cpuprofile file] [-memprofile file]
 //
-// Ctrl-C cancels the exploration between design-point evaluations.
+// -events streams every run/phase/evaluation/prune event as JSON Lines;
+// -progress paints a live status line; -debug-addr serves expvar
+// (including the exploration metrics registry) and pprof while the
+// exploration runs. Ctrl-C cancels between design-point evaluations.
 package main
 
 import (
-	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
-	"os/signal"
-	"runtime"
-	"runtime/pprof"
-	"strings"
 	"time"
 
 	"memorex"
 	"memorex/internal/adl"
+	"memorex/internal/cliutil"
 	"memorex/internal/connect"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("memorex: ")
-	bench := flag.String("bench", "compress", "benchmark: "+strings.Join(memorex.Benchmarks(), ", "))
-	scale := flag.Int("scale", 1, "workload scale factor")
-	seed := flag.Int64("seed", 42, "workload seed")
-	workers := flag.Int("workers", 0, "evaluation worker pool size (0 = all CPUs)")
+	cliutil.Init("memorex")
+	var wl cliutil.WorkloadFlags
+	var ev cliutil.EvalFlags
+	var prof cliutil.ProfileFlags
+	var ob cliutil.ObsFlags
+	wl.Register(flag.CommandLine)
+	ev.Register(flag.CommandLine)
+	prof.Register(flag.CommandLine)
+	ob.Register(flag.CommandLine)
 	keep := flag.Int("keep", 8, "locally promising designs kept per memory architecture")
 	assignCap := flag.Int("cap", 192, "max connectivity assignments per clustering level")
 	scenario := flag.String("scenario", "", "constrained selection: power, cost or perf")
@@ -44,37 +47,13 @@ func main() {
 	emitDir := flag.String("emit", "", "write each cost/perf front design as an ADL file into this directory")
 	libPath := flag.String("lib", "", "JSON connectivity IP library to explore with (default: built-in)")
 	dumpLib := flag.String("dumplib", "", "write the built-in connectivity library as JSON to this file and exit")
-	exact := flag.Bool("exact", false, "use the one-phase exact simulator instead of behavior-trace replay")
-	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
-	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
-	if *cpuprofile != "" {
-		f, err := os.Create(*cpuprofile)
-		if err != nil {
-			log.Fatalf("cpuprofile: %v", err)
-		}
-		if err := pprof.StartCPUProfile(f); err != nil {
-			log.Fatalf("cpuprofile: %v", err)
-		}
-		defer func() {
-			pprof.StopCPUProfile()
-			f.Close()
-		}()
+	stopProf, err := prof.Start()
+	if err != nil {
+		log.Fatal(err)
 	}
-	if *memprofile != "" {
-		defer func() {
-			f, err := os.Create(*memprofile)
-			if err != nil {
-				log.Fatalf("memprofile: %v", err)
-			}
-			defer f.Close()
-			runtime.GC()
-			if err := pprof.WriteHeapProfile(f); err != nil {
-				log.Fatalf("memprofile: %v", err)
-			}
-		}()
-	}
+	defer stopProf()
 
 	if *dumpLib != "" {
 		f, err := os.Create(*dumpLib)
@@ -92,38 +71,48 @@ func main() {
 		return
 	}
 
-	opt := memorex.DefaultOptions(*bench)
-	opt.WorkloadConfig.Scale = *scale
-	opt.WorkloadConfig.Seed = *seed
-	opt.ConEx.Workers = *workers
-	opt.ConEx.Engine = memorex.NewEngine(*workers)
-	opt.ConEx.KeepPerArch = *keep
-	opt.ConEx.MaxAssignPerLevel = *assignCap
-	opt.ConEx.Exact = *exact
+	lib, err := cliutil.LoadLibrary(*libPath)
+	if err != nil {
+		log.Fatal(err)
+	}
 	if *libPath != "" {
-		f, err := os.Open(*libPath)
-		if err != nil {
-			log.Fatal(err)
-		}
-		lib, err := connect.ReadLibrary(f)
-		f.Close()
-		if err != nil {
-			log.Fatal(err)
-		}
-		opt.ConEx.Library = lib
 		fmt.Printf("using connectivity library %s (%d components)\n", *libPath, len(lib))
 	}
 
-	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	observer, closeObs, err := ob.Observer()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := closeObs(); err != nil {
+			log.Printf("events: %v", err)
+		}
+	}()
+
+	ex, err := memorex.NewExplorer(
+		memorex.WithWorkloadConfig(wl.Config()),
+		memorex.WithWorkers(ev.Workers),
+		memorex.WithLibrary(lib),
+		memorex.WithKeepPerArch(*keep),
+		memorex.WithAssignCap(*assignCap),
+		memorex.WithExact(ev.Exact),
+		memorex.WithObserver(observer),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ob.ServeDebug(ex.MetricsSnapshot)
+
+	ctx, cancel := cliutil.SignalContext()
 	defer cancel()
 	start := time.Now()
-	rep, err := memorex.Explore(ctx, opt)
+	rep, err := ex.Explore(ctx, wl.Bench)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Printf("benchmark %s: %d accesses, %d data structures\n",
-		*bench, rep.Trace.NumAccesses(), len(rep.Trace.DS)-1)
+		wl.Bench, rep.Trace.NumAccesses(), len(rep.Trace.DS)-1)
 	fmt.Println("\naccess patterns:")
 	for _, s := range rep.Profile.Stats {
 		fmt.Printf("  %-10s %9d accesses  %-13s chain=%.2f footprint=%dB\n",
@@ -177,7 +166,7 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			path := fmt.Sprintf("%s/%s-design%02d.adl", *emitDir, *bench, i)
+			path := fmt.Sprintf("%s/%s-design%02d.adl", *emitDir, wl.Bench, i)
 			if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
 				log.Fatal(err)
 			}
@@ -204,5 +193,5 @@ func main() {
 	fmt.Printf("\nexploration work: %d sampled + %d simulated accesses in %v\n",
 		rep.ConEx.EstimatedAccesses, rep.ConEx.SimulatedAccesses,
 		time.Since(start).Round(time.Millisecond))
-	fmt.Println(rep.EngineStats())
+	fmt.Println(ex.Stats())
 }

@@ -5,67 +5,48 @@
 //
 //	paperbench [-exp fig3|fig4|fig6|fige|tab1|tab2|all] [-preset paper|quick]
 //	           [-workers N] [-stats] [-exact]
+//	           [-events FILE] [-progress] [-debug-addr ADDR]
 //	           [-cpuprofile file] [-memprofile file]
 //
 // The figure experiments share one evaluation engine, so design points
 // simulated for an earlier figure are served from the memoization cache
 // when a later one revisits them; -stats prints the engine counters
 // (simulations, cache hits, per-phase wall time) after each experiment.
+// -events streams the shared engine's evaluation events as JSON Lines.
 // Ctrl-C cancels the run between design-point evaluations.
 package main
 
 import (
-	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
-	"os/signal"
-	"runtime"
-	"runtime/pprof"
 	"time"
 
+	"memorex/internal/cliutil"
+	"memorex/internal/engine"
 	"memorex/internal/experiments"
+	"memorex/internal/obs"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("paperbench: ")
+	cliutil.Init("paperbench")
+	var ev cliutil.EvalFlags
+	var prof cliutil.ProfileFlags
+	var ob cliutil.ObsFlags
+	ev.Register(flag.CommandLine)
+	prof.Register(flag.CommandLine)
+	ob.Register(flag.CommandLine)
 	exp := flag.String("exp", "all", "experiment to run: fig3, fig4, fig6, fige, tab1, tab2, all")
 	preset := flag.String("preset", "paper", "sizing preset: paper or quick")
-	workers := flag.Int("workers", 0, "evaluation worker pool size (0 = all CPUs)")
 	stats := flag.Bool("stats", true, "print evaluation-engine statistics after each experiment")
-	exact := flag.Bool("exact", false, "use the one-phase exact simulator instead of behavior-trace replay")
-	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
-	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
-	if *cpuprofile != "" {
-		f, err := os.Create(*cpuprofile)
-		if err != nil {
-			log.Fatalf("cpuprofile: %v", err)
-		}
-		if err := pprof.StartCPUProfile(f); err != nil {
-			log.Fatalf("cpuprofile: %v", err)
-		}
-		defer func() {
-			pprof.StopCPUProfile()
-			f.Close()
-		}()
+	stopProf, err := prof.Start()
+	if err != nil {
+		log.Fatal(err)
 	}
-	if *memprofile != "" {
-		defer func() {
-			f, err := os.Create(*memprofile)
-			if err != nil {
-				log.Fatalf("memprofile: %v", err)
-			}
-			defer f.Close()
-			runtime.GC()
-			if err := pprof.WriteHeapProfile(f); err != nil {
-				log.Fatalf("memprofile: %v", err)
-			}
-		}()
-	}
+	defer stopProf()
 
 	var opt experiments.Options
 	switch *preset {
@@ -76,20 +57,32 @@ func main() {
 	default:
 		log.Fatalf("unknown preset %q", *preset)
 	}
-	if *workers != 0 {
-		opt.ConEx.Workers = *workers
-		opt.ConEx.Engine = nil // rebuilt below with the requested bound
-		opt.Table2ConEx.Workers = *workers
+	if ev.Workers != 0 {
+		opt.ConEx.Workers = ev.Workers
+		opt.Table2ConEx.Workers = ev.Workers
 	}
-	if *exact {
+	if ev.Exact {
 		opt.ConEx.Exact = true
 		opt.Table2ConEx.Exact = true
 	}
-	if opt.ConEx.Engine == nil {
-		opt.ConEx.Engine = opt.ConEx.EngineOrNew()
-	}
 
-	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	observer, closeObs, err := ob.Observer()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := closeObs(); err != nil {
+			log.Printf("events: %v", err)
+		}
+	}()
+	// Rebuild the preset's shared engine so the figure experiments run
+	// with the requested worker bound and instrumentation attached.
+	reg := obs.NewRegistry()
+	opt.ConEx.Engine = engine.New(opt.ConEx.Workers,
+		engine.WithObserver(observer), engine.WithMetrics(reg))
+	ob.ServeDebug(reg.Snapshot)
+
+	ctx, cancel := cliutil.SignalContext()
 	defer cancel()
 
 	runners := []struct {

@@ -25,23 +25,18 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"strings"
 
-	"memorex"
 	"memorex/internal/adl"
-	"memorex/internal/connect"
+	"memorex/internal/cliutil"
 	"memorex/internal/sim"
-	"memorex/internal/trace"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("simulate: ")
+	cliutil.Init("simulate")
+	var wl cliutil.WorkloadFlags
+	wl.Register(flag.CommandLine)
+	wl.RegisterTraceFile(flag.CommandLine)
 	archPath := flag.String("arch", "", "architecture description file (required)")
-	bench := flag.String("bench", "compress", "benchmark: "+strings.Join(memorex.Benchmarks(), ", "))
-	tracePath := flag.String("trace", "", "trace file (MTR1/MTR2) instead of -bench")
-	scale := flag.Int("scale", 1, "workload scale factor")
-	seed := flag.Int64("seed", 42, "workload seed")
 	libPath := flag.String("lib", "", "JSON connectivity library (default: built-in)")
 	flag.Parse()
 
@@ -50,36 +45,13 @@ func main() {
 		os.Exit(2)
 	}
 
-	var tr *trace.Trace
-	if *tracePath != "" {
-		f, err := os.Open(*tracePath)
-		if err != nil {
-			log.Fatal(err)
-		}
-		tr, err = trace.Read(f)
-		f.Close()
-		if err != nil {
-			log.Fatal(err)
-		}
-	} else {
-		var err error
-		tr, err = memorex.GenerateTrace(*bench, memorex.WorkloadConfig{Scale: *scale, Seed: *seed})
-		if err != nil {
-			log.Fatal(err)
-		}
+	tr, err := wl.Load()
+	if err != nil {
+		log.Fatal(err)
 	}
-
-	lib := connect.Library()
-	if *libPath != "" {
-		f, err := os.Open(*libPath)
-		if err != nil {
-			log.Fatal(err)
-		}
-		lib, err = connect.ReadLibrary(f)
-		f.Close()
-		if err != nil {
-			log.Fatal(err)
-		}
+	lib, err := cliutil.LoadLibrary(*libPath)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	src, err := os.ReadFile(*archPath)

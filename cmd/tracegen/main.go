@@ -12,41 +12,26 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"strings"
 
-	"memorex"
+	"memorex/internal/cliutil"
 	"memorex/internal/profile"
 	"memorex/internal/trace"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("tracegen: ")
-	bench := flag.String("bench", "compress", "benchmark: "+strings.Join(memorex.Benchmarks(), ", "))
-	scale := flag.Int("scale", 1, "workload scale factor")
-	seed := flag.Int64("seed", 42, "workload seed")
+	cliutil.Init("tracegen")
+	var wl cliutil.WorkloadFlags
+	wl.Register(flag.CommandLine)
 	out := flag.String("o", "", "output file; empty = just summarize")
 	compressOut := flag.Bool("z", false, "write the compressed MTR2 format instead of MTR1")
 	inspect := flag.String("inspect", "", "inspect an existing trace file instead of generating")
 	flag.Parse()
 
-	var t *trace.Trace
-	if *inspect != "" {
-		f, err := os.Open(*inspect)
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer f.Close()
-		t, err = trace.Read(f)
-		if err != nil {
-			log.Fatal(err)
-		}
-	} else {
-		var err error
-		t, err = memorex.GenerateTrace(*bench, memorex.WorkloadConfig{Scale: *scale, Seed: *seed})
-		if err != nil {
-			log.Fatal(err)
-		}
+	// -inspect is tracegen's historical spelling of cliutil's -trace.
+	wl.TracePath = *inspect
+	t, err := wl.Load()
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	fmt.Printf("trace %q: %d accesses, %d data structures\n", t.Name, t.NumAccesses(), len(t.DS)-1)

@@ -1,0 +1,339 @@
+package memorex
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"memorex/internal/apex"
+	"memorex/internal/core"
+	"memorex/internal/engine"
+	"memorex/internal/mem"
+	"memorex/internal/obs"
+	"memorex/internal/profile"
+	"memorex/internal/sampling"
+	"memorex/internal/trace"
+	"memorex/internal/workload"
+)
+
+// Observability types re-exported for Explorer users.
+type (
+	// Observer fans exploration events out to sinks; build one with
+	// NewObserver and attach it with WithObserver. A nil Observer is the
+	// disabled observer and costs nothing on the evaluation hot path.
+	Observer = obs.Observer
+	// Event is one entry of the structured exploration event stream.
+	Event = obs.Event
+	// EventSink consumes events (JSONL writer, in-memory ring, progress
+	// line — see NewJSONLSink, NewRingSink, NewProgressSink).
+	EventSink = obs.Sink
+	// MetricsSnapshot is a point-in-time copy of the exploration metrics
+	// registry: counters, gauges and latency-histogram stats.
+	MetricsSnapshot = obs.Snapshot
+	// HistogramStats summarizes one latency histogram (count, mean,
+	// p50/p95/p99).
+	HistogramStats = obs.HistogramStats
+	// RingSink retains the last n events in memory; its Events method
+	// returns them oldest-first (tests, postmortem inspection).
+	RingSink = obs.Ring
+)
+
+// Event kinds of the structured stream.
+const (
+	KindRunStart       = obs.KindRunStart
+	KindRunEnd         = obs.KindRunEnd
+	KindPhaseStart     = obs.KindPhaseStart
+	KindPhaseEnd       = obs.KindPhaseEnd
+	KindTrace          = obs.KindTrace
+	KindAPEX           = obs.KindAPEX
+	KindEval           = obs.KindEval
+	KindPrune          = obs.KindPrune
+	KindEstimatorError = obs.KindEstimatorError
+)
+
+// NewObserver builds an observer over the given sinks. With no live
+// sinks it returns nil — the disabled observer.
+func NewObserver(sinks ...EventSink) *Observer { return obs.NewObserver(sinks...) }
+
+// NewEngineWithObservability returns an evaluation engine with the
+// given observer and a fresh metrics registry attached, for sharing an
+// instrumented engine across Explorers (see WithEngine).
+func NewEngineWithObservability(workers int, o *Observer) *Engine {
+	return engine.New(workers, engine.WithObserver(o), engine.WithMetrics(obs.NewRegistry()))
+}
+
+// NewJSONLSink streams events to w as JSON Lines, one event per line;
+// decode the stream with DecodeEvents.
+func NewJSONLSink(w io.Writer) EventSink { return obs.NewJSONL(w) }
+
+// NewRingSink retains the last n events in memory.
+func NewRingSink(n int) *RingSink { return obs.NewRing(n) }
+
+// NewProgressSink repaints a single-line terminal progress display,
+// refreshed every `every` evaluations (0 = a sensible default).
+func NewProgressSink(w io.Writer, every int) EventSink { return obs.NewProgress(w, every) }
+
+// DecodeEvents parses a JSONL event stream written by NewJSONLSink.
+func DecodeEvents(r io.Reader) ([]Event, error) { return obs.DecodeJSONL(r) }
+
+// Explorer is a reusable handle on the full exploration pipeline:
+// trace generation, profiling, APEX memory-modules exploration and
+// ConEx connectivity exploration. It owns the evaluation engine (so
+// repeated runs share the memoization cache), the metrics registry,
+// and the observer that streams structured events. Build one with
+// NewExplorer and functional options; the zero-option Explorer runs
+// the paper-reproduction defaults.
+//
+// An Explorer is safe for use from multiple goroutines: the engine
+// serializes shared state and the observer is internally locked.
+type Explorer struct {
+	wl      workload.Config
+	apexCfg apex.Config
+	conex   core.Config // Engine field set to eng
+	eng     *engine.Engine
+	obs     *obs.Observer
+	reg     *obs.Registry
+}
+
+// explorerConfig accumulates the functional options before
+// normalization.
+type explorerConfig struct {
+	wl       workload.Config
+	apexCfg  apex.Config
+	conexCfg core.Config
+	workers  int
+	engine   *engine.Engine
+	observer *obs.Observer
+	sinks    []obs.Sink
+}
+
+// ExplorerOption configures an Explorer. Options are applied in order;
+// later options win.
+type ExplorerOption func(*explorerConfig)
+
+// WithWorkers bounds evaluation parallelism (0 = all CPUs). Ignored
+// when WithEngine supplies an engine, whose own bound wins.
+func WithWorkers(n int) ExplorerOption {
+	return func(c *explorerConfig) { c.workers = n }
+}
+
+// WithEngine shares an existing evaluation engine (and its memoization
+// cache) with this Explorer. The engine's own observer and metrics
+// registry win; combining WithEngine with WithObserver or
+// WithEventSinks is an error because an engine's instrumentation is
+// fixed at construction.
+func WithEngine(e *Engine) ExplorerOption {
+	return func(c *explorerConfig) { c.engine = e }
+}
+
+// WithObserver attaches a pre-built observer. Passing nil (the
+// disabled observer) is allowed and equivalent to omitting the option.
+func WithObserver(o *Observer) ExplorerOption {
+	return func(c *explorerConfig) { c.observer = o }
+}
+
+// WithEventSinks builds the Explorer's observer from the given sinks;
+// a convenience over WithObserver(NewObserver(sinks...)). Repeated
+// uses accumulate sinks.
+func WithEventSinks(sinks ...EventSink) ExplorerOption {
+	return func(c *explorerConfig) { c.sinks = append(c.sinks, sinks...) }
+}
+
+// WithWorkloadConfig sets the benchmark scaling. The zero config means
+// the paper-reproduction defaults; partially invalid configs surface
+// as a NewExplorer error.
+func WithWorkloadConfig(cfg WorkloadConfig) ExplorerOption {
+	return func(c *explorerConfig) { c.wl = cfg }
+}
+
+// WithAPEXConfig replaces the memory-modules sweep. The zero config
+// means the paper-reproduction defaults.
+func WithAPEXConfig(cfg APEXConfig) ExplorerOption {
+	return func(c *explorerConfig) { c.apexCfg = cfg }
+}
+
+// WithConExConfig replaces the connectivity-exploration config. The
+// zero config means the paper-reproduction defaults. Its Engine field,
+// when set, acts like WithEngine.
+func WithConExConfig(cfg ConExConfig) ExplorerOption {
+	return func(c *explorerConfig) { c.conexCfg = cfg }
+}
+
+// WithSampling sets the Phase I time-sampling plan.
+func WithSampling(cfg SamplingConfig) ExplorerOption {
+	return func(c *explorerConfig) { c.conexCfg.Sampling = cfg }
+}
+
+// WithLibrary sets the connectivity IP library ConEx maps channels
+// onto.
+func WithLibrary(lib []ConnComponent) ExplorerOption {
+	return func(c *explorerConfig) { c.conexCfg.Library = lib }
+}
+
+// WithKeepPerArch sets how many locally promising designs each memory
+// architecture contributes to Phase II full simulation.
+func WithKeepPerArch(n int) ExplorerOption {
+	return func(c *explorerConfig) { c.conexCfg.KeepPerArch = n }
+}
+
+// WithAssignCap caps the connectivity assignments enumerated per
+// clustering level (0 = exhaustive).
+func WithAssignCap(n int) ExplorerOption {
+	return func(c *explorerConfig) { c.conexCfg.MaxAssignPerLevel = n }
+}
+
+// WithExact forces the one-phase reference simulator instead of the
+// two-phase capture-and-replay path.
+func WithExact(exact bool) ExplorerOption {
+	return func(c *explorerConfig) { c.conexCfg.Exact = exact }
+}
+
+// NewExplorer builds an Explorer. Configuration is validated here, in
+// one place: zero configs become the paper-reproduction defaults,
+// while explicitly invalid values are reported as errors instead of
+// being silently replaced.
+func NewExplorer(opts ...ExplorerOption) (*Explorer, error) {
+	var c explorerConfig
+	for _, opt := range opts {
+		opt(&c)
+	}
+
+	wl, err := c.wl.Normalize()
+	if err != nil {
+		return nil, fmt.Errorf("memorex: %w", err)
+	}
+	apexCfg, err := c.apexCfg.Normalize()
+	if err != nil {
+		return nil, fmt.Errorf("memorex: %w", err)
+	}
+	conexCfg, err := c.conexCfg.Normalize()
+	if err != nil {
+		return nil, fmt.Errorf("memorex: %w", err)
+	}
+
+	observer := c.observer
+	if len(c.sinks) > 0 {
+		if observer != nil {
+			return nil, fmt.Errorf("memorex: WithObserver and WithEventSinks are mutually exclusive")
+		}
+		observer = obs.NewObserver(c.sinks...)
+	}
+
+	eng := c.engine
+	if eng == nil {
+		eng = conexCfg.Engine
+	}
+	var reg *obs.Registry
+	if eng == nil {
+		reg = obs.NewRegistry()
+		workers := c.workers
+		if workers == 0 {
+			workers = conexCfg.Workers
+		}
+		eng = engine.New(workers, engine.WithObserver(observer), engine.WithMetrics(reg))
+	} else {
+		// A supplied engine carries its own instrumentation, fixed at
+		// construction; a second observer would silently miss the
+		// per-evaluation events, so reject the combination outright.
+		if observer != nil {
+			return nil, fmt.Errorf("memorex: WithEngine and WithObserver/WithEventSinks are mutually exclusive; attach the observer when building the engine")
+		}
+		observer = eng.Observer()
+		reg = eng.Metrics()
+	}
+	conexCfg.Engine = eng
+
+	return &Explorer{
+		wl:      wl,
+		apexCfg: apexCfg,
+		conex:   conexCfg,
+		eng:     eng,
+		obs:     observer,
+		reg:     reg,
+	}, nil
+}
+
+// Options returns the effective (normalized) configuration the
+// Explorer runs with, in the legacy Options form.
+func (x *Explorer) Options() Options {
+	return Options{WorkloadConfig: x.wl, APEX: x.apexCfg, ConEx: x.conex}
+}
+
+// Engine returns the Explorer's evaluation engine, for sharing its
+// memoization cache with other explorations.
+func (x *Explorer) Engine() *Engine { return x.eng }
+
+// Observer returns the Explorer's observer (nil when event streaming
+// is disabled).
+func (x *Explorer) Observer() *Observer { return x.obs }
+
+// Stats returns a snapshot of the evaluation-engine counters,
+// cumulative over every run of this Explorer.
+func (x *Explorer) Stats() EngineStats { return x.eng.Stats() }
+
+// MetricsSnapshot returns a point-in-time copy of the metrics
+// registry, cumulative over every run of this Explorer.
+func (x *Explorer) MetricsSnapshot() MetricsSnapshot { return x.reg.Snapshot() }
+
+// Close flushes and closes the observer's sinks. Runs after Close lose
+// their events but are otherwise unaffected.
+func (x *Explorer) Close() error { return x.obs.Close() }
+
+// Explore runs the full pipeline on the named benchmark. The context
+// cancels the exploration between design-point evaluations.
+func (x *Explorer) Explore(ctx context.Context, benchmark string) (*Report, error) {
+	t, err := GenerateTrace(benchmark, x.wl)
+	if err != nil {
+		return nil, err
+	}
+	return x.exploreTrace(ctx, benchmark, t)
+}
+
+// ExploreTrace runs profiling, APEX and ConEx on an existing trace
+// (the trace's own Name labels the run in events and reports).
+func (x *Explorer) ExploreTrace(ctx context.Context, t *Trace) (*Report, error) {
+	return x.exploreTrace(ctx, t.Name, t)
+}
+
+func (x *Explorer) exploreTrace(ctx context.Context, benchmark string, t *trace.Trace) (*Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if t.NumAccesses() == 0 {
+		return nil, fmt.Errorf("memorex: empty trace")
+	}
+	start := time.Now()
+	x.obs.RunStart(benchmark, int64(t.NumAccesses()))
+	x.obs.TraceGenerated(benchmark, int64(t.NumAccesses()), len(t.DS))
+	rep, err := x.run(ctx, benchmark, t)
+	x.obs.RunEnd(benchmark, time.Since(start), err)
+	if err != nil {
+		return nil, err
+	}
+	rep.Metrics = x.reg.Snapshot()
+	return rep, nil
+}
+
+func (x *Explorer) run(ctx context.Context, benchmark string, t *trace.Trace) (*Report, error) {
+	prof := profile.Analyze(t)
+	apexRes, err := apex.Explore(t, prof, x.apexCfg)
+	if err != nil {
+		return nil, fmt.Errorf("memorex: APEX failed: %w", err)
+	}
+	x.obs.APEXSelected(len(apexRes.All), len(apexRes.Selected))
+	archs := make([]*mem.Architecture, 0, len(apexRes.Selected))
+	for _, dp := range apexRes.Selected {
+		archs = append(archs, dp.Arch)
+	}
+	conexRes, err := core.Explore(ctx, t, archs, x.conex)
+	if err != nil {
+		return nil, fmt.Errorf("memorex: ConEx failed: %w", err)
+	}
+	opt := x.Options()
+	opt.Workload = benchmark
+	return &Report{Options: opt, Trace: t, Profile: prof, APEX: apexRes, ConEx: conexRes}, nil
+}
+
+// SamplingDefault returns the paper's 1:9 time-sampling configuration.
+func SamplingDefault() SamplingConfig { return sampling.DefaultConfig() }

@@ -62,6 +62,26 @@ func DefaultConfig() Config {
 	}
 }
 
+// IsZero reports whether the config is the zero value, which callers
+// treat as "use DefaultConfig".
+func (c Config) IsZero() bool {
+	return c.CacheSizes == nil && c.CacheAssocs == nil && c.CacheLines == nil &&
+		c.MaxCustom == 0 && c.SRAMLimit == 0 && c.MaxSelected == 0 &&
+		c.VictimLines == 0 && !c.SweepWriteThrough && c.L2Sizes == nil
+}
+
+// Normalize resolves the config the explorations run with: the zero
+// value becomes DefaultConfig, anything else must validate as-is.
+func (c Config) Normalize() (Config, error) {
+	if c.IsZero() {
+		return DefaultConfig(), nil
+	}
+	if err := c.Validate(); err != nil {
+		return Config{}, err
+	}
+	return c, nil
+}
+
 // Validate checks the configuration.
 func (c Config) Validate() error {
 	if len(c.CacheSizes) == 0 || len(c.CacheAssocs) == 0 || len(c.CacheLines) == 0 {

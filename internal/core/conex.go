@@ -87,6 +87,45 @@ func DefaultConfig() Config {
 	}
 }
 
+// IsZero reports whether the algorithmic fields are all zero. Workers,
+// Engine and Exact are execution knobs, not part of the design-space
+// description, so they do not affect zeroness.
+func (c Config) IsZero() bool {
+	return c.Library == nil && c.Sampling.IsZero() &&
+		c.MaxAssignPerLevel == 0 && c.KeepPerArch == 0
+}
+
+// Normalize resolves the config the exploration runs with: when every
+// algorithmic field is zero they are filled from DefaultConfig (the
+// execution knobs Workers/Engine/Exact are preserved). In a partially
+// set config the unset sub-pieces fall back individually — a nil
+// Library means the built-in IP library, a zero Sampling means the
+// paper's 1:9 plan, KeepPerArch 0 means the default 8 — while
+// explicitly invalid values surface as errors instead of being
+// silently replaced.
+func (c Config) Normalize() (Config, error) {
+	if c.IsZero() {
+		def := DefaultConfig()
+		def.Workers, def.Engine, def.Exact = c.Workers, c.Engine, c.Exact
+		return def, nil
+	}
+	def := DefaultConfig()
+	if c.Library == nil {
+		c.Library = def.Library
+	}
+	var err error
+	if c.Sampling, err = c.Sampling.Normalize(); err != nil {
+		return Config{}, err
+	}
+	if c.KeepPerArch == 0 {
+		c.KeepPerArch = def.KeepPerArch
+	}
+	if err := c.Validate(); err != nil {
+		return Config{}, err
+	}
+	return c, nil
+}
+
 // Validate checks the configuration.
 func (c Config) Validate() error {
 	if len(c.Library) == 0 {
@@ -269,6 +308,7 @@ func Explore(ctx context.Context, t *trace.Trace, memArchs []*mem.Architecture, 
 		return nil, fmt.Errorf("core: no memory architectures to explore")
 	}
 	eng := cfg.EngineOrNew()
+	o := eng.Observer()
 	before := eng.Stats()
 	res := &Result{}
 
@@ -282,7 +322,9 @@ func Explore(ctx context.Context, t *trace.Trace, memArchs []*mem.Architecture, 
 		res.EstimatedAccesses += work
 		res.DroppedAssignments += dropped
 		res.PerArch = append(res.PerArch, points)
-		phase2 = append(phase2, SelectLocal(points, cfg.KeepPerArch)...)
+		kept := SelectLocal(points, cfg.KeepPerArch)
+		o.Prune("select-local", arch.Name, len(points), len(kept), dropped)
+		phase2 = append(phase2, kept...)
 	}
 
 	// Phase II: full simulation of the combined promising set.
@@ -303,6 +345,7 @@ func Explore(ctx context.Context, t *trace.Trace, memArchs []*mem.Architecture, 
 	if err != nil {
 		return nil, err
 	}
+	estErr := eng.Metrics().Histogram("sampling/est_err_pct")
 	combined := make([]DesignPoint, len(phase2))
 	for i, v := range vals {
 		combined[i] = DesignPoint{
@@ -313,12 +356,27 @@ func Explore(ctx context.Context, t *trace.Trace, memArchs []*mem.Architecture, 
 			Energy:  v.Energy,
 		}
 		res.SimulatedAccesses += v.Work
+		// Phase II revisits every Phase I survivor, which is exactly the
+		// fidelity experiment of the paper: compare the time-sampled
+		// latency estimate against the full-simulation ground truth.
+		if v.Latency > 0 {
+			rel := 100 * (phase2[i].Latency - v.Latency) / v.Latency
+			if rel < 0 {
+				rel = -rel
+			}
+			estErr.Observe(rel)
+			if o.Enabled() {
+				o.EstimatorError(phase2[i].MemArch.Name, phase2[i].Conn.Describe(phase2[i].MemArch),
+					phase2[i].Latency, v.Latency, rel)
+			}
+		}
 	}
 	res.Combined = combined
 
 	for _, p := range pareto.Front(res.Points(), pareto.Cost, pareto.Latency) {
 		res.CostPerfFront = append(res.CostPerfFront, *p.Meta.(*DesignPoint))
 	}
+	o.Prune("cost-perf-front", "", len(res.Combined), len(res.CostPerfFront), 0)
 	res.Stats = eng.Stats()
 	res.CacheHits = res.Stats.CacheHits - before.CacheHits
 	return res, nil

@@ -31,6 +31,7 @@ import (
 
 	"memorex/internal/connect"
 	"memorex/internal/mem"
+	"memorex/internal/obs"
 	"memorex/internal/sampling"
 	"memorex/internal/sim"
 	"memorex/internal/trace"
@@ -185,6 +186,14 @@ type behaviorEntry struct {
 type Engine struct {
 	workers int
 
+	// obs and metrics are the optional observability hooks. Both are
+	// nil-safe throughout (a nil observer/registry costs one nil check
+	// per use and never allocates), so the hot path below updates them
+	// unconditionally through pre-resolved instrument handles.
+	obs     *obs.Observer
+	metrics *obs.Registry
+	m       instruments
+
 	mu       sync.Mutex
 	cache    map[uint64]*entry
 	behavior map[uint64]*behaviorEntry
@@ -194,13 +203,46 @@ type Engine struct {
 	phase    map[string]int // phase name -> index into stats.Phases
 }
 
+// instruments caches the engine's metrics-registry handles so the per-
+// evaluation path never pays a name lookup. All handles are nil (and
+// their methods no-ops) when the engine has no registry.
+type instruments struct {
+	evals, sims, hits   *obs.Counter
+	sampledAcc, fullAcc *obs.Counter
+	captures, capReuse  *obs.Counter
+	schedIssues         *obs.Counter
+	schedConflicts      *obs.Counter
+	samplingWindows     *obs.Counter
+	samplingOnAcc       *obs.Counter
+	evalWallSampled     *obs.Histogram
+	evalWallFull        *obs.Histogram
+}
+
+// Option configures an Engine beyond its worker bound.
+type Option func(*Engine)
+
+// WithObserver attaches a structured-event observer: the engine emits
+// one obs.KindEval event per evaluation (including cache hits) and
+// phase start/end events from StartPhase. A nil observer is the
+// explicit "off" value.
+func WithObserver(o *obs.Observer) Option {
+	return func(e *Engine) { e.obs = o }
+}
+
+// WithMetrics attaches a metrics registry the engine feeds: evaluation
+// counters, per-mode wall-time histograms, scheduler contention and
+// sampling-plan counters. A nil registry is the explicit "off" value.
+func WithMetrics(r *obs.Registry) Option {
+	return func(e *Engine) { e.metrics = r }
+}
+
 // New returns an engine bounded to the given worker count
 // (0 or negative = DefaultWorkers).
-func New(workers int) *Engine {
+func New(workers int, opts ...Option) *Engine {
 	if workers <= 0 {
 		workers = DefaultWorkers()
 	}
-	return &Engine{
+	e := &Engine{
 		workers:  workers,
 		cache:    map[uint64]*entry{},
 		behavior: map[uint64]*behaviorEntry{},
@@ -208,10 +250,38 @@ func New(workers int) *Engine {
 		memFP:    map[*mem.Architecture]uint64{},
 		phase:    map[string]int{},
 	}
+	for _, opt := range opts {
+		opt(e)
+	}
+	if e.metrics != nil {
+		e.m = instruments{
+			evals:           e.metrics.Counter("engine/evaluations"),
+			sims:            e.metrics.Counter("engine/simulations"),
+			hits:            e.metrics.Counter("engine/cache_hits"),
+			sampledAcc:      e.metrics.Counter("engine/sampled_accesses"),
+			fullAcc:         e.metrics.Counter("engine/full_accesses"),
+			captures:        e.metrics.Counter("engine/behavior_captures"),
+			capReuse:        e.metrics.Counter("engine/behavior_reuses"),
+			schedIssues:     e.metrics.Counter("rtable/issues"),
+			schedConflicts:  e.metrics.Counter("rtable/conflicts"),
+			samplingWindows: e.metrics.Counter("sampling/windows"),
+			samplingOnAcc:   e.metrics.Counter("sampling/on_accesses"),
+			evalWallSampled: e.metrics.Histogram("engine/eval_wall_us/sampled"),
+			evalWallFull:    e.metrics.Histogram("engine/eval_wall_us/full"),
+		}
+		e.metrics.Gauge("engine/workers").Set(float64(workers))
+	}
+	return e
 }
 
 // Workers returns the engine's parallelism bound.
 func (e *Engine) Workers() int { return e.workers }
+
+// Observer returns the engine's event observer (nil when detached).
+func (e *Engine) Observer() *obs.Observer { return e.obs }
+
+// Metrics returns the engine's metrics registry (nil when detached).
+func (e *Engine) Metrics() *obs.Registry { return e.metrics }
 
 // Stats returns a snapshot of the engine counters.
 func (e *Engine) Stats() Stats {
@@ -226,6 +296,7 @@ func (e *Engine) Stats() Stats {
 // and returns the function that stops it. Phases appear in the stats in
 // first-use order.
 func (e *Engine) StartPhase(name string) (stop func()) {
+	e.obs.PhaseStart(name)
 	start := time.Now()
 	var once sync.Once
 	return func() {
@@ -234,6 +305,7 @@ func (e *Engine) StartPhase(name string) (stop func()) {
 			e.mu.Lock()
 			e.phaseLocked(name).Wall += d
 			e.mu.Unlock()
+			e.obs.PhaseEnd(name, d)
 		})
 	}
 }
@@ -313,8 +385,52 @@ func (e *Engine) EvaluateOne(ctx context.Context, req Request) (Value, error) {
 	return vals[0], nil
 }
 
-// evaluate serves one request from the cache or computes and caches it.
+// evaluate wraps serve with the observability hooks: wall-time
+// measurement, metrics-registry updates and the per-evaluation event.
+// With no observer and no registry attached it adds two nil checks and
+// nothing else — no time syscalls, no allocation.
 func (e *Engine) evaluate(ctx context.Context, r Request) (Value, error) {
+	if !e.obs.Enabled() && e.metrics == nil {
+		return e.serve(ctx, r)
+	}
+	start := time.Now()
+	v, err := e.serve(ctx, r)
+	if err != nil {
+		return v, err
+	}
+	wall := time.Since(start)
+	e.m.evals.Inc()
+	if v.Hit {
+		e.m.hits.Inc()
+	} else {
+		e.m.sims.Inc()
+		if r.Mode == Full {
+			e.m.fullAcc.Add(v.Work)
+			e.m.evalWallFull.Observe(float64(wall.Microseconds()))
+		} else {
+			e.m.sampledAcc.Add(v.Work)
+			e.m.evalWallSampled.Observe(float64(wall.Microseconds()))
+		}
+	}
+	if e.obs.Enabled() {
+		e.obs.Eval(obs.Evaluation{
+			Phase:     r.Phase,
+			Mem:       r.Mem.Name,
+			Conn:      r.Conn.Describe(r.Mem),
+			Cost:      v.Cost,
+			Latency:   v.Latency,
+			Energy:    v.Energy,
+			Estimated: v.Estimated,
+			CacheHit:  v.Hit,
+			Work:      v.Work,
+			Wall:      wall,
+		})
+	}
+	return v, nil
+}
+
+// serve answers one request from the cache or computes and caches it.
+func (e *Engine) serve(ctx context.Context, r Request) (Value, error) {
 	if r.Trace == nil || r.Mem == nil || r.Conn == nil {
 		return Value{}, fmt.Errorf("engine: request missing trace, memory or connectivity architecture")
 	}
@@ -393,6 +509,8 @@ func (e *Engine) simulate(ctx context.Context, r Request) (Value, error) {
 	if err != nil {
 		return Value{}, err
 	}
+	e.m.schedIssues.Add(res.SchedIssues)
+	e.m.schedConflicts.Add(res.SchedConflicts)
 	return Value{
 		Cost:      cost,
 		Latency:   res.AvgLatency(),
@@ -411,6 +529,8 @@ func (e *Engine) simulateExact(r Request, cost float64) (Value, error) {
 		if err != nil {
 			return Value{}, err
 		}
+		e.m.schedIssues.Add(res.SchedIssues)
+		e.m.schedConflicts.Add(res.SchedConflicts)
 		return Value{
 			Cost:      cost,
 			Latency:   res.AvgLatency(),
@@ -427,6 +547,8 @@ func (e *Engine) simulateExact(r Request, cost float64) (Value, error) {
 		if err != nil {
 			return Value{}, err
 		}
+		e.m.schedIssues.Add(res.SchedIssues)
+		e.m.schedConflicts.Add(res.SchedConflicts)
 		return Value{
 			Cost:    cost,
 			Latency: res.AvgLatency(),
@@ -456,6 +578,7 @@ func (e *Engine) behaviorTrace(ctx context.Context, r Request) (*sim.BehaviorTra
 		e.mu.Lock()
 		e.stats.BehaviorCacheHits++
 		e.mu.Unlock()
+		e.m.capReuse.Inc()
 		return ent.bt, nil
 	}
 	ent := &behaviorEntry{done: make(chan struct{})}
@@ -471,6 +594,7 @@ func (e *Engine) behaviorTrace(ctx context.Context, r Request) (*sim.BehaviorTra
 		e.mu.Lock()
 		e.stats.BehaviorCaptures++
 		e.mu.Unlock()
+		e.m.captures.Inc()
 	}
 	close(ent.done)
 	return ent.bt, ent.err
@@ -488,6 +612,12 @@ func (e *Engine) captureBehavior(r Request) (*sim.BehaviorTrace, error) {
 		if len(windows) == 0 {
 			return nil, fmt.Errorf("sampling: empty trace")
 		}
+		e.m.samplingWindows.Add(int64(len(windows)))
+		var on int64
+		for _, w := range windows {
+			on += int64(w.Hi - w.Lo)
+		}
+		e.m.samplingOnAcc.Add(on)
 	}
 	return sim.CaptureBehavior(r.Trace, r.Mem, windows)
 }

@@ -8,6 +8,7 @@ import (
 
 	"memorex/internal/connect"
 	"memorex/internal/mem"
+	"memorex/internal/obs"
 	"memorex/internal/sampling"
 	"memorex/internal/trace"
 	"memorex/internal/workload"
@@ -240,4 +241,107 @@ func TestDefaultWorkers(t *testing.T) {
 	if got := New(3).Workers(); got != 3 {
 		t.Fatalf("New(3).Workers() = %d; want 3", got)
 	}
+}
+
+// The observability wiring: an engine built with an observer and a
+// metrics registry must emit one eval event per request (flagging
+// cache hits), bracket StartPhase with phase events, and keep the
+// registry counters consistent with Stats().
+func TestObserverAndMetricsWiring(t *testing.T) {
+	tr := testTrace(t)
+	ring := obs.NewRing(64)
+	reg := obs.NewRegistry()
+	e := New(2, WithObserver(obs.NewObserver(ring)), WithMetrics(reg))
+	if e.Observer() == nil || e.Metrics() != reg {
+		t.Fatal("engine lost its observer or registry")
+	}
+	a := testArch(4096)
+	c := testConn(t, a, "ahb32")
+	req := sampled(tr, a, c)
+	req.Phase = "test/obs"
+
+	stop := e.StartPhase("test/obs")
+	if _, err := e.Evaluate(context.Background(), []Request{req, req}); err != nil {
+		t.Fatal(err)
+	}
+	stop()
+
+	var evals, hits, phaseStart, phaseEnd int
+	for _, ev := range ring.Events() {
+		switch ev.Kind {
+		case obs.KindEval:
+			evals++
+			if ev.CacheHit {
+				hits++
+			}
+			if ev.Mem != a.Name || ev.Conn == "" || ev.Phase != "test/obs" {
+				t.Fatalf("eval event lost labels: %+v", ev)
+			}
+		case obs.KindPhaseStart:
+			phaseStart++
+		case obs.KindPhaseEnd:
+			phaseEnd++
+			if ev.WallNS <= 0 {
+				t.Fatalf("phase-end without wall time: %+v", ev)
+			}
+		}
+	}
+	if evals != 2 || hits != 1 {
+		t.Fatalf("got %d eval events (%d cache hits), want 2 with 1 hit", evals, hits)
+	}
+	if phaseStart != 1 || phaseEnd != 1 {
+		t.Fatalf("phase events = %d start, %d end; want 1 each", phaseStart, phaseEnd)
+	}
+
+	snap := reg.Snapshot()
+	if snap.Counters["engine/evaluations"] != 2 ||
+		snap.Counters["engine/simulations"] != 1 ||
+		snap.Counters["engine/cache_hits"] != 1 {
+		t.Fatalf("registry counters inconsistent: %+v", snap.Counters)
+	}
+	if snap.Counters["rtable/issues"] <= 0 {
+		t.Fatalf("scheduler issues not propagated: %+v", snap.Counters)
+	}
+	if snap.Counters["sampling/windows"] <= 0 || snap.Counters["sampling/on_accesses"] <= 0 {
+		t.Fatalf("sampling plan not counted: %+v", snap.Counters)
+	}
+	h, ok := snap.Histograms["engine/eval_wall_us/sampled"]
+	if !ok || h.Count != 1 {
+		t.Fatalf("sampled eval-wall histogram missing or miscounted: %+v", snap.Histograms)
+	}
+	if snap.Gauges["engine/workers"] != 2 {
+		t.Fatalf("workers gauge = %v, want 2", snap.Gauges["engine/workers"])
+	}
+}
+
+// BenchmarkEvaluateObserver measures the per-evaluation overhead of
+// the observability layer on the cheapest possible request — a memo
+// cache hit, where the wrapper is a measurable fraction of the work.
+// Compare allocs/op of the disabled and instrumented variants: the
+// disabled engine must not allocate anything the instrumented one
+// avoids.
+func BenchmarkEvaluateObserver(b *testing.B) {
+	bench := func(b *testing.B, e *Engine) {
+		tr := testTrace(b)
+		a := testArch(4096)
+		req := sampled(tr, a, testConn(b, a, "ahb32"))
+		ctx := context.Background()
+		reqs := []Request{req}
+		if _, err := e.Evaluate(ctx, reqs); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := e.Evaluate(ctx, reqs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("disabled", func(b *testing.B) { bench(b, New(1)) })
+	b.Run("instrumented", func(b *testing.B) {
+		bench(b, New(1,
+			WithObserver(obs.NewObserver(obs.NewRing(16))),
+			WithMetrics(obs.NewRegistry())))
+	})
 }

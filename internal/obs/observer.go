@@ -1,0 +1,188 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Observer fans structured events out to its sinks. The zero of the
+// type is not used directly: a nil *Observer is the disabled observer,
+// and every method (including Enabled) is safe and free on it, so
+// instrumented code calls unconditionally:
+//
+//	var o *obs.Observer            // nil: observability off
+//	o.PhaseStart("conex/estimate") // no-op, no allocation
+//
+// Emission is serialized under one mutex, so sinks need no locking of
+// their own and see events in strictly increasing Seq order.
+type Observer struct {
+	seq   atomic.Uint64
+	mu    sync.Mutex
+	sinks []Sink
+}
+
+// NewObserver returns an observer fanning out to the given sinks. With
+// no sinks it returns nil — the disabled observer — so callers can
+// build one unconditionally from optional configuration.
+func NewObserver(sinks ...Sink) *Observer {
+	live := make([]Sink, 0, len(sinks))
+	for _, s := range sinks {
+		if s != nil {
+			live = append(live, s)
+		}
+	}
+	if len(live) == 0 {
+		return nil
+	}
+	return &Observer{sinks: live}
+}
+
+// Enabled reports whether events are being consumed. Hot paths guard
+// any label formatting or other allocation behind it.
+func (o *Observer) Enabled() bool { return o != nil }
+
+// Close closes every sink, returning the first error.
+func (o *Observer) Close() error {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	var first error
+	for _, s := range o.sinks {
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// emit stamps and fans out one event.
+func (o *Observer) emit(ev *Event) {
+	if o == nil {
+		return
+	}
+	ev.Seq = o.seq.Add(1)
+	ev.Time = time.Now()
+	o.mu.Lock()
+	for _, s := range o.sinks {
+		s.Emit(ev)
+	}
+	o.mu.Unlock()
+}
+
+// RunStart reports the beginning of an exploration run.
+func (o *Observer) RunStart(benchmark string, accesses int64) {
+	if o == nil {
+		return
+	}
+	o.emit(&Event{Kind: KindRunStart, Benchmark: benchmark, Accesses: accesses})
+}
+
+// RunEnd reports the end of an exploration run; err is the failure, or
+// nil on success.
+func (o *Observer) RunEnd(benchmark string, wall time.Duration, err error) {
+	if o == nil {
+		return
+	}
+	ev := &Event{Kind: KindRunEnd, Benchmark: benchmark, WallNS: wall.Nanoseconds()}
+	if err != nil {
+		ev.Err = err.Error()
+	}
+	o.emit(ev)
+}
+
+// PhaseStart reports entry into a named phase.
+func (o *Observer) PhaseStart(phase string) {
+	if o == nil {
+		return
+	}
+	o.emit(&Event{Kind: KindPhaseStart, Phase: phase})
+}
+
+// PhaseEnd reports the end of a named phase and its wall time.
+func (o *Observer) PhaseEnd(phase string, wall time.Duration) {
+	if o == nil {
+		return
+	}
+	o.emit(&Event{Kind: KindPhaseEnd, Phase: phase, WallNS: wall.Nanoseconds()})
+}
+
+// TraceGenerated reports a generated (or loaded) benchmark trace.
+func (o *Observer) TraceGenerated(benchmark string, accesses int64, dataStructures int) {
+	if o == nil {
+		return
+	}
+	o.emit(&Event{Kind: KindTrace, Benchmark: benchmark, Accesses: accesses, DataStructures: dataStructures})
+}
+
+// APEXSelected reports the memory-modules selection: how many
+// architectures were evaluated and how many entered ConEx.
+func (o *Observer) APEXSelected(evaluated, selected int) {
+	if o == nil {
+		return
+	}
+	o.emit(&Event{Kind: KindAPEX, Evaluated: evaluated, Selected: selected})
+}
+
+// Evaluation describes one design-point evaluation for Eval.
+type Evaluation struct {
+	Phase     string
+	Mem, Conn string
+	Cost      float64
+	Latency   float64
+	Energy    float64
+	Estimated bool
+	CacheHit  bool
+	Work      int64
+	Wall      time.Duration
+}
+
+// Eval reports one design-point evaluation.
+func (o *Observer) Eval(e Evaluation) {
+	if o == nil {
+		return
+	}
+	o.emit(&Event{
+		Kind:      KindEval,
+		Phase:     e.Phase,
+		Mem:       e.Mem,
+		Conn:      e.Conn,
+		Cost:      e.Cost,
+		Latency:   e.Latency,
+		Energy:    e.Energy,
+		Estimated: e.Estimated,
+		CacheHit:  e.CacheHit,
+		Work:      e.Work,
+		WallNS:    e.Wall.Nanoseconds(),
+	})
+}
+
+// Prune reports one pruning decision: of evaluated candidates at the
+// named stage (scoped to the named memory architecture when non-empty),
+// selected survive; dropped counts candidates an enumeration cap cut
+// before evaluation.
+func (o *Observer) Prune(stage, mem string, evaluated, selected int, dropped int64) {
+	if o == nil {
+		return
+	}
+	o.emit(&Event{Kind: KindPrune, Stage: stage, Mem: mem, Evaluated: evaluated, Selected: selected, Dropped: dropped})
+}
+
+// EstimatorError reports the sampling estimator's error on one design:
+// Phase II fully simulated a design Phase I estimated, and the latency
+// figures disagree by relErrPct percent.
+func (o *Observer) EstimatorError(mem, conn string, estLatency, fullLatency, relErrPct float64) {
+	if o == nil {
+		return
+	}
+	o.emit(&Event{
+		Kind:        KindEstimatorError,
+		Mem:         mem,
+		Conn:        conn,
+		EstLatency:  estLatency,
+		FullLatency: fullLatency,
+		RelErrPct:   relErrPct,
+	})
+}

@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Sink consumes the event stream. The observer serializes Emit calls,
+// so implementations need no internal locking; Emit must not retain the
+// event past the call (the observer reuses nothing today, but sinks
+// that buffer must copy the value, as Ring does).
+type Sink interface {
+	Emit(*Event)
+	Close() error
+}
+
+// JSONL writes one JSON object per line — the `-events FILE` format.
+// Write errors are sticky: the first one stops further output and is
+// reported by Close, so a full run never fails mid-way because of a
+// sink.
+type JSONL struct {
+	enc *json.Encoder
+	err error
+}
+
+// NewJSONL returns a sink writing JSONL to w. The caller owns w and
+// closes it after Close.
+func NewJSONL(w io.Writer) *JSONL {
+	return &JSONL{enc: json.NewEncoder(w)}
+}
+
+// Emit implements Sink.
+func (s *JSONL) Emit(ev *Event) {
+	if s.err != nil {
+		return
+	}
+	s.err = s.enc.Encode(ev)
+}
+
+// Close implements Sink, reporting the first write error.
+func (s *JSONL) Close() error { return s.err }
+
+// DecodeJSONL parses a stream written by JSONL back into events.
+func DecodeJSONL(r io.Reader) ([]Event, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var out []Event
+	for {
+		var ev Event
+		if err := dec.Decode(&ev); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("obs: decoding event %d: %w", len(out)+1, err)
+		}
+		out = append(out, ev)
+	}
+}
+
+// Ring keeps the last N events in memory — the test and debugging sink.
+type Ring struct {
+	buf   []Event
+	next  int
+	total int
+}
+
+// NewRing returns a ring holding the most recent n events.
+func NewRing(n int) *Ring {
+	if n <= 0 {
+		n = 1
+	}
+	return &Ring{buf: make([]Event, 0, n)}
+}
+
+// Emit implements Sink.
+func (r *Ring) Emit(ev *Event) {
+	r.total++
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, *ev)
+		return
+	}
+	r.buf[r.next] = *ev
+	r.next = (r.next + 1) % cap(r.buf)
+}
+
+// Close implements Sink.
+func (r *Ring) Close() error { return nil }
+
+// Total returns how many events were emitted overall (≥ len(Events)).
+func (r *Ring) Total() int { return r.total }
+
+// Events returns the retained events, oldest first.
+func (r *Ring) Events() []Event {
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Progress renders a single self-overwriting terminal status line — the
+// `-progress` sink. To stay cheap it repaints only every Nth evaluation
+// and on phase boundaries, and it never allocates per event beyond the
+// formatted line itself.
+type Progress struct {
+	w     io.Writer
+	every int
+	phase string
+	evals int64
+	hits  int64
+	last  Evaluationish
+	dirty bool
+}
+
+// Evaluationish is the subset of the last evaluation Progress displays.
+type Evaluationish struct {
+	Cost    float64
+	Latency float64
+}
+
+// NewProgress returns a progress sink writing to w (normally stderr),
+// repainting at most once per every evaluations (0 = every 64).
+func NewProgress(w io.Writer, every int) *Progress {
+	if every <= 0 {
+		every = 64
+	}
+	return &Progress{w: w, every: every}
+}
+
+// Emit implements Sink.
+func (p *Progress) Emit(ev *Event) {
+	switch ev.Kind {
+	case KindPhaseStart:
+		p.phase = ev.Phase
+		p.paint()
+	case KindEval:
+		p.evals++
+		if ev.CacheHit {
+			p.hits++
+		}
+		p.last = Evaluationish{Cost: ev.Cost, Latency: ev.Latency}
+		p.dirty = true
+		if p.evals%int64(p.every) == 0 {
+			p.paint()
+		}
+	case KindRunEnd, KindPhaseEnd:
+		p.paint()
+	}
+}
+
+// paint rewrites the status line in place.
+func (p *Progress) paint() {
+	if !p.dirty && p.evals == 0 {
+		return
+	}
+	p.dirty = false
+	fmt.Fprintf(p.w, "\r%-22s %7d evals (%d cache hits)  last %8.0f gates %6.2f cyc ",
+		p.phase, p.evals, p.hits, p.last.Cost, p.last.Latency)
+}
+
+// Close implements Sink, finishing the line.
+func (p *Progress) Close() error {
+	if p.evals > 0 {
+		p.paint()
+		fmt.Fprintln(p.w)
+	}
+	return nil
+}

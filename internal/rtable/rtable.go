@@ -168,6 +168,19 @@ type Scheduler struct {
 	base   int64 // absolute cycle of bit 0
 	words  int   // window size in 64-bit words per resource
 	window [][]uint64
+	stats  Stats
+}
+
+// Stats counts the scheduling activity of one Scheduler. The counters
+// are plain fields bumped on the hot path (no atomics: a scheduler is
+// owned by one simulation goroutine) and are read after the run, when
+// the engine folds them into the exploration's metrics registry.
+type Stats struct {
+	// Issues counts EarliestIssue calls (one per transfer scheduled).
+	Issues int64
+	// Conflicts counts busy-run collisions skipped while searching for
+	// an issue slot; Conflicts/Issues measures bus contention.
+	Conflicts int64
 }
 
 const defaultWindowWords = 64 // 4096-cycle window
@@ -318,6 +331,7 @@ func (s *Scheduler) EarliestIssue(at int64, stages []Stage) int64 {
 		}
 	}
 	s.advance(at + int64(maxEnd))
+	s.stats.Issues++
 	t := at
 search:
 	for {
@@ -328,6 +342,7 @@ search:
 			}
 			// The stage overlaps a reserved run; no issue slot clears it
 			// before the run ends, so jump straight past.
+			s.stats.Conflicts++
 			next := s.busyRunEnd(st.Res, c) - int64(st.Start) + 1
 			if next <= t {
 				next = t + 1
@@ -343,6 +358,9 @@ search:
 	}
 	return t
 }
+
+// Stats returns the scheduler's activity counters.
+func (s *Scheduler) Stats() Stats { return s.stats }
 
 // Release frees the cycles of stages reserved at issue time t. It is
 // used by split-transaction busses that give the bus back during the

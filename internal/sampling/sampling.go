@@ -30,6 +30,10 @@ type Config struct {
 // on-window.
 func DefaultConfig() Config { return Config{OnWindow: 2000, OffRatio: 9} }
 
+// IsZero reports whether the config is the zero value, which callers
+// treat as "use DefaultConfig".
+func (c Config) IsZero() bool { return c == Config{} }
+
 // Validate checks the configuration.
 func (c Config) Validate() error {
 	if c.OnWindow <= 0 {
@@ -39,6 +43,18 @@ func (c Config) Validate() error {
 		return fmt.Errorf("sampling: off-ratio must be non-negative, got %d", c.OffRatio)
 	}
 	return nil
+}
+
+// Normalize resolves the config the explorations run with: the zero
+// value becomes DefaultConfig, anything else must validate as-is.
+func (c Config) Normalize() (Config, error) {
+	if c.IsZero() {
+		return DefaultConfig(), nil
+	}
+	if err := c.Validate(); err != nil {
+		return Config{}, err
+	}
+	return c, nil
 }
 
 // Plan returns the on-sampling windows the estimator fully simulates

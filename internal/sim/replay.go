@@ -187,6 +187,7 @@ func (r *replayer) run() {
 		}
 		pos += int(wlen)
 	}
+	r.res.SchedIssues, r.res.SchedConflicts = schedTotals(r.scheds)
 }
 
 // applyResync rebuilds prefetch readiness after a sampling skip gap.

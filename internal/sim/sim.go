@@ -35,6 +35,13 @@ type Result struct {
 	ChannelWait []int64
 	// ChannelTransfers counts transfers per channel.
 	ChannelTransfers []int64
+	// SchedIssues and SchedConflicts aggregate the reservation-table
+	// scheduler activity of the run: transfers scheduled, and busy-run
+	// collisions skipped while searching for issue slots. Their ratio
+	// is the run's bus-contention measure, fed to the exploration's
+	// metrics registry.
+	SchedIssues    int64
+	SchedConflicts int64
 	// LatencyHist is a log2-bucketed histogram of per-access memory
 	// latency: LatencyHist[k] counts accesses with latency in
 	// [2^k, 2^(k+1)). Bucket 0 also holds zero-latency accesses.
@@ -98,6 +105,8 @@ func (r *Result) Add(o *Result) {
 	r.ChannelBytes = addChannelCounts(r.ChannelBytes, o.ChannelBytes)
 	r.ChannelWait = addChannelCounts(r.ChannelWait, o.ChannelWait)
 	r.ChannelTransfers = addChannelCounts(r.ChannelTransfers, o.ChannelTransfers)
+	r.SchedIssues += o.SchedIssues
+	r.SchedConflicts += o.SchedConflicts
 	for i := range o.LatencyHist {
 		r.LatencyHist[i] += o.LatencyHist[i]
 	}
@@ -295,7 +304,18 @@ func (s *Simulator) RunWindow(t *trace.Trace, lo, hi int) (*Result, error) {
 		s.now += int64(lat) + 1
 	}
 	r := s.res
+	r.SchedIssues, r.SchedConflicts = schedTotals(s.scheds)
 	return &r, nil
+}
+
+// schedTotals sums the scheduler activity counters across clusters.
+func schedTotals(scheds []*rtable.Scheduler) (issues, conflicts int64) {
+	for _, sc := range scheds {
+		st := sc.Stats()
+		issues += st.Issues
+		conflicts += st.Conflicts
+	}
+	return issues, conflicts
 }
 
 // SkipWindow advances the clock past accesses [lo, hi) without simulating

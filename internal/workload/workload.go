@@ -38,6 +38,30 @@ type Config struct {
 // experiments: deterministic, moderate-length traces.
 func DefaultConfig() Config { return Config{Scale: 1, Seed: 42} }
 
+// IsZero reports whether the config is the zero value, which callers
+// treat as "use DefaultConfig".
+func (c Config) IsZero() bool { return c == Config{} }
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Scale <= 0 {
+		return fmt.Errorf("workload: Scale must be positive, got %d (leave the whole Config zero for defaults)", c.Scale)
+	}
+	return nil
+}
+
+// Normalize resolves the config the explorations run with: the zero
+// value becomes DefaultConfig, anything else must validate as-is.
+func (c Config) Normalize() (Config, error) {
+	if c.IsZero() {
+		return DefaultConfig(), nil
+	}
+	if err := c.Validate(); err != nil {
+		return Config{}, err
+	}
+	return c, nil
+}
+
 // Workload is a benchmark application that can generate a memory trace.
 type Workload interface {
 	// Name returns the benchmark name used in tables ("compress", ...).

@@ -114,53 +114,71 @@ type Report struct {
 	Profile *profile.Profile
 	APEX    *apex.Result
 	ConEx   *core.Result
+	// Metrics is the exploration metrics snapshot taken when the run
+	// finished (cumulative over the Explorer's lifetime when runs share
+	// an Explorer). Empty for runs without a metrics registry.
+	Metrics MetricsSnapshot
 }
 
 // Explore runs the full pipeline: trace generation, profiling, APEX and
 // ConEx. The context cancels the exploration between design-point
-// evaluations.
+// evaluations. It is a convenience wrapper over Explorer for one-shot
+// runs; build an Explorer directly to share the evaluation engine,
+// stream events or collect metrics across runs.
 func Explore(ctx context.Context, opt Options) (*Report, error) {
-	t, err := GenerateTrace(opt.Workload, opt.WorkloadConfig)
+	ex, err := NewExplorer(
+		WithWorkloadConfig(opt.WorkloadConfig),
+		WithAPEXConfig(opt.APEX),
+		WithConExConfig(opt.ConEx),
+	)
 	if err != nil {
 		return nil, err
 	}
-	return ExploreTrace(ctx, t, opt)
+	return ex.Explore(ctx, opt.Workload)
 }
 
 // GenerateTrace runs the named benchmark and returns its memory trace.
+// The zero WorkloadConfig selects the paper-reproduction defaults; an
+// explicitly invalid config (e.g. a negative or partial Scale) is an
+// error rather than being silently replaced.
 func GenerateTrace(benchmark string, cfg workload.Config) (*trace.Trace, error) {
 	w, err := workload.ByName(benchmark)
 	if err != nil {
 		return nil, err
 	}
-	if cfg.Scale <= 0 {
-		cfg = workload.DefaultConfig()
+	cfg, err = cfg.Normalize()
+	if err != nil {
+		return nil, fmt.Errorf("memorex: generating %q trace: %w", benchmark, err)
 	}
 	return w.Generate(cfg), nil
 }
 
-// ExploreTrace runs profiling, APEX and ConEx on an existing trace.
+// ExploreTrace runs profiling, APEX and ConEx on an existing trace. It
+// is a convenience wrapper over Explorer; see Explore.
 func ExploreTrace(ctx context.Context, t *trace.Trace, opt Options) (*Report, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	if t.NumAccesses() == 0 {
-		return nil, fmt.Errorf("memorex: empty trace")
-	}
-	prof := profile.Analyze(t)
-	apexRes, err := apex.Explore(t, prof, opt.APEX)
+	ex, err := NewExplorer(
+		WithWorkloadConfig(opt.WorkloadConfig),
+		WithAPEXConfig(opt.APEX),
+		WithConExConfig(opt.ConEx),
+	)
 	if err != nil {
-		return nil, fmt.Errorf("memorex: APEX failed: %w", err)
+		return nil, err
 	}
-	archs := make([]*mem.Architecture, 0, len(apexRes.Selected))
-	for _, dp := range apexRes.Selected {
-		archs = append(archs, dp.Arch)
-	}
-	conexRes, err := core.Explore(ctx, t, archs, opt.ConEx)
+	rep, err := ex.exploreTrace(ctx, benchmarkLabel(opt.Workload, t), t)
 	if err != nil {
-		return nil, fmt.Errorf("memorex: ConEx failed: %w", err)
+		return nil, err
 	}
-	return &Report{Options: opt, Trace: t, Profile: prof, APEX: apexRes, ConEx: conexRes}, nil
+	rep.Options.Workload = opt.Workload
+	return rep, nil
+}
+
+// benchmarkLabel picks the run label for a trace-level exploration:
+// the explicit benchmark name when set, else the trace's own name.
+func benchmarkLabel(workloadName string, t *trace.Trace) string {
+	if workloadName != "" {
+		return workloadName
+	}
+	return t.Name
 }
 
 // EngineStats returns the evaluation-engine statistics of the

@@ -87,6 +87,14 @@ func TestGenerateTraceErrors(t *testing.T) {
 	if tr.NumAccesses() == 0 {
 		t.Fatal("default config produced empty trace")
 	}
+	// A non-zero but invalid config is an explicit error, not a silent
+	// fallback to the defaults.
+	if _, err := GenerateTrace("compress", WorkloadConfig{Scale: -2, Seed: 7}); err == nil {
+		t.Fatal("negative scale accepted")
+	}
+	if _, err := GenerateTrace("compress", WorkloadConfig{Seed: 7}); err == nil {
+		t.Fatal("partial config with zero scale accepted")
+	}
 }
 
 func TestExploreTraceEmpty(t *testing.T) {

@@ -40,10 +40,11 @@ type PhaseWallJSON struct {
 
 // ReportJSON is the serialized form of an exploration report.
 type ReportJSON struct {
-	Benchmark string       `json:"benchmark"`
-	Accesses  int          `json:"trace_accesses"`
-	Engine    *EngineJSON  `json:"engine,omitempty"`
-	Designs   []DesignJSON `json:"designs"`
+	Benchmark string           `json:"benchmark"`
+	Accesses  int              `json:"trace_accesses"`
+	Engine    *EngineJSON      `json:"engine,omitempty"`
+	Metrics   *MetricsSnapshot `json:"metrics,omitempty"`
+	Designs   []DesignJSON     `json:"designs"`
 }
 
 // WriteJSON serializes the fully simulated design points of the report
@@ -69,6 +70,10 @@ func (r *Report) WriteJSON(w io.Writer) error {
 		Benchmark: r.Options.Workload,
 		Accesses:  r.Trace.NumAccesses(),
 		Engine:    ej,
+	}
+	if len(r.Metrics.Counters)+len(r.Metrics.Gauges)+len(r.Metrics.Histograms) > 0 {
+		m := r.Metrics
+		out.Metrics = &m
 	}
 	onFront := map[*core.DesignPoint]bool{}
 	for i := range r.ConEx.CostPerfFront {
