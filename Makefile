@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench check
+.PHONY: build test race vet bench bench-compare check
 
 build:
 	$(GO) build ./...
@@ -16,13 +16,21 @@ vet:
 
 # bench runs the benchmark suite (3 fixed iterations, matching how
 # the baselines were measured) and writes the parsed domain metrics —
-# including the eval-latency histogram quantiles reported by
-# BenchmarkInstrumentedExploration — plus the speedup over the PR 2
-# report to BENCH_PR3.json.
+# including the eval-latency histogram quantiles and the batched-replay
+# counters reported by BenchmarkInstrumentedExploration — plus the
+# speedup over the PR 3 report to BENCH_PR4.json.
 bench:
 	$(GO) test -bench=. -benchmem -benchtime 3x -run '^$$' . | tee bench.out
-	$(GO) run ./cmd/benchjson -baseline BENCH_PR2.json -out BENCH_PR3.json < bench.out
+	$(GO) run ./cmd/benchjson -baseline BENCH_PR3.json -out BENCH_PR4.json < bench.out
 	@rm -f bench.out
+
+# bench-compare diffs two benchjson reports (override OLD/NEW to pick
+# others) and fails when any benchmark's ns/op regressed by more than
+# 10% — the perf gate for CI.
+OLD ?= BENCH_PR3.json
+NEW ?= BENCH_PR4.json
+bench-compare:
+	$(GO) run ./cmd/benchjson -compare $(OLD) $(NEW)
 
 # check is the gate a change must pass before review: formatting is
 # clean, vet finds nothing, and the whole suite passes under the race

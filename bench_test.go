@@ -501,6 +501,48 @@ func BenchmarkSimulatorReplay(b *testing.B) {
 	}
 }
 
+// BenchmarkSimulatorReplayBatch measures batched replay throughput over
+// the same behavior trace as BenchmarkSimulatorReplay: one ReplayBatch
+// pass re-times a candidate per library component, so ns/op divided by
+// "archs" is directly comparable to BenchmarkSimulatorReplay's ns/op.
+func BenchmarkSimulatorReplayBatch(b *testing.B) {
+	tr := quickTrace(b)
+	arch := &mem.Architecture{
+		Name:    "cache8k",
+		Modules: []mem.Module{mem.MustCache(8192, 32, 2)},
+		DRAM:    mem.DefaultDRAM(),
+		Default: 0,
+	}
+	lib := connect.Library()
+	var conns []*connect.Arch
+	for _, comp := range lib {
+		on, off := comp, comp
+		if comp.OnChip {
+			off, _ = connect.ByName(lib, "off32")
+		} else {
+			on, _ = connect.ByName(lib, "ahb32")
+		}
+		conns = append(conns, &connect.Arch{
+			Channels: arch.Channels(),
+			Clusters: [][]int{{0}, {1}},
+			Assign:   []connect.Component{on, off},
+		})
+	}
+	bt, err := sim.CaptureBehavior(tr.Trace, arch, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sim.ReplayBatch(bt, conns)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(res)), "archs")
+		b.ReportMetric(float64(res[0].Accesses), "accesses")
+	}
+}
+
 // BenchmarkInstrumentedExploration is BenchmarkFigure4 with the full
 // observability stack attached — event ring, JSONL-equivalent fan-out
 // and metrics registry — so the before/after reports quantify the
@@ -523,5 +565,13 @@ func BenchmarkInstrumentedExploration(b *testing.B) {
 		b.ReportMetric(h.P50, "eval-p50-us")
 		b.ReportMetric(h.P95, "eval-p95-us")
 		b.ReportMetric(h.P99, "eval-p99-us")
+		// Batched-replay shape of the run: how many ReplayBatch
+		// dispatches served the exploration, their median size, and how
+		// many evaluations were deduplicated or spilled.
+		bs := snap.Histograms["engine/batch/size"]
+		b.ReportMetric(float64(snap.Counters["engine/batch/dispatches"]), "batches")
+		b.ReportMetric(bs.P50, "batch-size-p50")
+		b.ReportMetric(float64(snap.Counters["engine/batch/dedup_hits"]), "batch-dedup-hits")
+		b.ReportMetric(float64(snap.Counters["engine/batch/spills"]), "batch-spills")
 	}
 }

@@ -5,11 +5,19 @@
 // Usage:
 //
 //	go test -bench=. -benchmem | benchjson -out BENCH_PR2.json [-baseline file]
+//	benchjson -compare BENCH_PR3.json BENCH_PR4.json
+//	go test -bench=. -benchmem | benchjson -compare BENCH_PR3.json
 //
 // The baseline file is a previous benchjson report (or a hand-seeded
 // one); its benchmark metrics are embedded under "baseline" and a
 // "speedup" map records baseline-ns/op ÷ current-ns/op per benchmark
 // present in both.
+//
+// With -compare, benchjson prints a per-benchmark delta table (ns/op,
+// B/op, allocs/op) of the current results — a report file given as the
+// positional argument, or bench text on stdin — against the old report,
+// and exits non-zero when any benchmark's ns/op regressed by more than
+// 10%. This is the CI regression gate behind `make bench-compare`.
 package main
 
 import (
@@ -18,7 +26,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -40,40 +50,47 @@ type Report struct {
 	Speedup    map[string]float64 `json:"speedup,omitempty"`
 }
 
+// regressionLimit is the ns/op increase (fractional) above which
+// -compare fails the run.
+const regressionLimit = 0.10
+
 func main() {
 	cliutil.Init("benchjson")
 	out := flag.String("out", "", "output file (default: stdout)")
 	baseline := flag.String("baseline", "", "previous benchjson report to embed for before/after comparison")
+	compare := flag.String("compare", "", "previous benchjson report to diff against; prints deltas and fails on >10% ns/op regression")
 	flag.Parse()
 
-	rep := Report{Benchmarks: map[string]Bench{}}
-	sc := bufio.NewScanner(os.Stdin)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	for sc.Scan() {
-		name, b, ok := parseLine(sc.Text())
-		if ok {
-			rep.Benchmarks[name] = b
-		}
-	}
-	if err := sc.Err(); err != nil {
-		log.Fatal(err)
-	}
-	if len(rep.Benchmarks) == 0 {
-		log.Fatal("no benchmark lines found on stdin")
-	}
-
-	if *baseline != "" {
-		data, err := os.ReadFile(*baseline)
+	if *compare != "" {
+		old, err := loadReport(*compare)
 		if err != nil {
 			log.Fatal(err)
 		}
-		var base Report
-		if err := json.Unmarshal(data, &base); err != nil {
-			log.Fatalf("%s: %v", *baseline, err)
+		var cur map[string]Bench
+		if path := flag.Arg(0); path != "" {
+			rep, err := loadReport(path)
+			if err != nil {
+				log.Fatal(err)
+			}
+			cur = rep
+		} else {
+			cur = parseStdin()
 		}
-		rep.Baseline = base.Benchmarks
+		if !printDeltas(os.Stdout, old, cur) {
+			os.Exit(1)
+		}
+		return
+	}
+
+	rep := Report{Benchmarks: parseStdin()}
+	if *baseline != "" {
+		base, err := loadReport(*baseline)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep.Baseline = base
 		rep.Speedup = map[string]float64{}
-		for name, b := range base.Benchmarks {
+		for name, b := range base {
 			cur, ok := rep.Benchmarks[name]
 			if !ok {
 				continue
@@ -98,6 +115,96 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println("wrote", *out)
+}
+
+// parseStdin parses `go test -bench` text from stdin into benchmark
+// results, failing loudly when none are found.
+func parseStdin() map[string]Bench {
+	benches := map[string]Bench{}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		name, b, ok := parseLine(sc.Text())
+		if ok {
+			benches[name] = b
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+	if len(benches) == 0 {
+		log.Fatal("no benchmark lines found on stdin")
+	}
+	return benches
+}
+
+// loadReport reads a benchjson report file and returns its benchmarks.
+func loadReport(path string) (map[string]Bench, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(rep.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks in report", path)
+	}
+	return rep.Benchmarks, nil
+}
+
+// printDeltas writes a per-benchmark delta table of the canonical
+// metrics and reports whether the run passes the regression gate (no
+// benchmark's ns/op grew by more than regressionLimit).
+func printDeltas(w *os.File, old, cur map[string]Bench) bool {
+	names := make([]string, 0, len(cur))
+	for name := range cur {
+		if _, ok := old[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		fmt.Fprintln(w, "benchjson: no common benchmarks to compare")
+		return false
+	}
+	pass := true
+	fmt.Fprintf(w, "%-34s %14s %14s %8s %8s %10s\n",
+		"benchmark", "old ns/op", "new ns/op", "Δns/op", "ΔB/op", "Δallocs")
+	for _, name := range names {
+		o, c := old[name].Metrics, cur[name].Metrics
+		d := delta(o["ns/op"], c["ns/op"])
+		flag := ""
+		if !math.IsNaN(d) && d > regressionLimit*100 {
+			pass = false
+			flag = "  REGRESSION"
+		}
+		fmt.Fprintf(w, "%-34s %14.0f %14.0f %8s %8s %10s%s\n",
+			name, o["ns/op"], c["ns/op"],
+			pct(d), pct(delta(o["B/op"], c["B/op"])), pct(delta(o["allocs/op"], c["allocs/op"])), flag)
+	}
+	if !pass {
+		fmt.Fprintf(w, "FAIL: ns/op regression above %.0f%%\n", regressionLimit*100)
+	}
+	return pass
+}
+
+// delta returns the percentage change from before to after, NaN when
+// the metric is absent on either side.
+func delta(before, after float64) float64 {
+	if before <= 0 || after < 0 {
+		return math.NaN()
+	}
+	return (after - before) / before * 100
+}
+
+// pct formats a delta percentage ("-" when unavailable).
+func pct(d float64) string {
+	if math.IsNaN(d) {
+		return "-"
+	}
+	return fmt.Sprintf("%+.1f%%", d)
 }
 
 // parseLine parses one benchmark result line of `go test -bench` output:

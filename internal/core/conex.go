@@ -26,6 +26,12 @@ type DesignPoint struct {
 	// Estimated is true for Phase I (time-sampled) figures and false
 	// after Phase II full simulation.
 	Estimated bool
+
+	// label memoizes Label(). The identifying fields above are never
+	// mutated after construction, so the memo is safe; being unexported
+	// it is invisible to JSON encoding and lost on copy, which only
+	// costs a re-format.
+	label string
 }
 
 // Point converts the design to a pareto point carrying the design as
@@ -40,12 +46,17 @@ func (d *DesignPoint) Point() pareto.Point {
 	}
 }
 
-// Label returns a compact design identifier.
+// Label returns a compact design identifier, memoized on first use —
+// the pruning loops call it for every point on every front they build.
 func (d *DesignPoint) Label() string {
+	if d.label != "" {
+		return d.label
+	}
 	if d.MemArch == nil || d.Conn == nil {
 		return "(unbound design)"
 	}
-	return fmt.Sprintf("%s | %s", d.MemArch.Name, d.Conn.Describe(d.MemArch))
+	d.label = fmt.Sprintf("%s | %s", d.MemArch.Name, d.Conn.Describe(d.MemArch))
+	return d.label
 }
 
 // Config parameterizes the ConEx exploration.
@@ -177,15 +188,22 @@ type Result struct {
 	// Stats is a snapshot of the evaluation engine counters taken when
 	// the exploration finished (cumulative when the engine is shared).
 	Stats engine.Stats
+
+	// pts memoizes Points(); Combined is final once the Result is built.
+	pts []pareto.Point
 }
 
-// Points returns the combined designs as pareto points.
+// Points returns the combined designs as pareto points. The slice is
+// built once and shared by subsequent calls (front extraction, report
+// writing and plotting all ask for it); callers must not mutate it.
 func (r *Result) Points() []pareto.Point {
-	out := make([]pareto.Point, len(r.Combined))
-	for i := range r.Combined {
-		out[i] = r.Combined[i].Point()
+	if r.pts == nil && len(r.Combined) > 0 {
+		r.pts = make([]pareto.Point, len(r.Combined))
+		for i := range r.Combined {
+			r.pts[i] = r.Combined[i].Point()
+		}
 	}
-	return out
+	return r.pts
 }
 
 // Engine phase labels used by the ConEx loops.
@@ -223,6 +241,9 @@ func connectivityExploration(ctx context.Context, eng *engine.Engine, t *trace.T
 	}
 	stop := eng.StartPhase(phaseEstimate)
 	defer stop()
+	// One homogeneous slice per memory architecture: every request below
+	// shares the behavior-trace fingerprint, so the engine dispatches
+	// the whole candidate set as batched replays of one captured trace.
 	reqs := make([]engine.Request, len(candidates))
 	for i, conn := range candidates {
 		reqs[i] = engine.Request{
@@ -327,7 +348,9 @@ func Explore(ctx context.Context, t *trace.Trace, memArchs []*mem.Architecture, 
 		phase2 = append(phase2, kept...)
 	}
 
-	// Phase II: full simulation of the combined promising set.
+	// Phase II: full simulation of the combined promising set, submitted
+	// as one slice so survivors of the same memory architecture batch
+	// into shared full-trace replays.
 	stop := eng.StartPhase(phaseFullSim)
 	reqs := make([]engine.Request, len(phase2))
 	for i := range phase2 {

@@ -23,7 +23,6 @@ package engine
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -132,10 +131,20 @@ type Stats struct {
 	SampledAccesses int64
 	FullAccesses    int64
 	// BehaviorCaptures counts Phase A module-behavior runs;
-	// BehaviorCacheHits counts evaluations whose replay reused an
-	// already-captured event trace.
+	// BehaviorCacheHits counts evaluations (or batch dispatches) whose
+	// replay reused an already-captured event trace.
 	BehaviorCaptures  int64
 	BehaviorCacheHits int64
+	// BatchReplays counts ReplayBatch dispatches and BatchedEvals the
+	// evaluations they served; BatchDedupHits counts evaluations that
+	// shared a timing-identical group-mate's replay instead of running
+	// their own; BatchSpills counts evaluations routed to the per-arch
+	// path because their fingerprint group was below the batch
+	// threshold.
+	BatchReplays   int64
+	BatchedEvals   int64
+	BatchDedupHits int64
+	BatchSpills    int64
 	// Phases lists per-phase wall times and counters in first-use
 	// order.
 	Phases []PhaseStat
@@ -150,6 +159,10 @@ func (s Stats) String() string {
 	if s.BehaviorCaptures > 0 || s.BehaviorCacheHits > 0 {
 		out += fmt.Sprintf("; %d behavior captures, %d behavior reuses",
 			s.BehaviorCaptures, s.BehaviorCacheHits)
+	}
+	if s.BatchReplays > 0 || s.BatchDedupHits > 0 || s.BatchSpills > 0 {
+		out += fmt.Sprintf("; %d batch replays covering %d evals, %d dedup shares, %d spills",
+			s.BatchReplays, s.BatchedEvals, s.BatchDedupHits, s.BatchSpills)
 	}
 	for _, p := range s.Phases {
 		out += fmt.Sprintf("\n  phase %-18s %10v  %6d evals  %6d sims",
@@ -216,6 +229,11 @@ type instruments struct {
 	samplingOnAcc       *obs.Counter
 	evalWallSampled     *obs.Histogram
 	evalWallFull        *obs.Histogram
+	batches             *obs.Counter
+	batchDedup          *obs.Counter
+	batchSpills         *obs.Counter
+	batchSize           *obs.Histogram
+	batchWall           *obs.Histogram
 }
 
 // Option configures an Engine beyond its worker bound.
@@ -268,6 +286,11 @@ func New(workers int, opts ...Option) *Engine {
 			samplingOnAcc:   e.metrics.Counter("sampling/on_accesses"),
 			evalWallSampled: e.metrics.Histogram("engine/eval_wall_us/sampled"),
 			evalWallFull:    e.metrics.Histogram("engine/eval_wall_us/full"),
+			batches:         e.metrics.Counter("engine/batch/dispatches"),
+			batchDedup:      e.metrics.Counter("engine/batch/dedup_hits"),
+			batchSpills:     e.metrics.Counter("engine/batch/spills"),
+			batchSize:       e.metrics.Histogram("engine/batch/size"),
+			batchWall:       e.metrics.Histogram("engine/batch/wall_us"),
 		}
 		e.metrics.Gauge("engine/workers").Set(float64(workers))
 	}
@@ -321,61 +344,6 @@ func (e *Engine) phaseLocked(name string) *PhaseStat {
 	return &e.stats.Phases[len(e.stats.Phases)-1]
 }
 
-// Evaluate runs a batch of requests on the worker pool and returns the
-// values in submission order. On error the batch is cancelled and the
-// first error (in submission order) is returned; ctx cancellation stops
-// the batch between evaluations.
-func (e *Engine) Evaluate(ctx context.Context, reqs []Request) ([]Value, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	out := make([]Value, len(reqs))
-	errs := make([]error, len(reqs))
-	bctx, cancel := context.WithCancel(ctx)
-	defer cancel()
-	sem := make(chan struct{}, e.workers)
-	var wg sync.WaitGroup
-	for i := range reqs {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			select {
-			case sem <- struct{}{}:
-			case <-bctx.Done():
-				errs[i] = bctx.Err()
-				return
-			}
-			defer func() { <-sem }()
-			// The sem send can win the select against an already
-			// cancelled context; re-check before doing work.
-			if err := bctx.Err(); err != nil {
-				errs[i] = err
-				return
-			}
-			v, err := e.evaluate(bctx, reqs[i])
-			if err != nil {
-				errs[i] = err
-				cancel()
-				return
-			}
-			out[i] = v
-		}(i)
-	}
-	wg.Wait()
-	// Prefer the first real failure over the cancellations it caused.
-	for _, err := range errs {
-		if err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
-			return nil, err
-		}
-	}
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return out, nil
-}
-
 // EvaluateOne evaluates a single request through the pool and cache.
 func (e *Engine) EvaluateOne(ctx context.Context, req Request) (Value, error) {
 	vals, err := e.Evaluate(ctx, []Request{req})
@@ -385,93 +353,22 @@ func (e *Engine) EvaluateOne(ctx context.Context, req Request) (Value, error) {
 	return vals[0], nil
 }
 
-// evaluate wraps serve with the observability hooks: wall-time
-// measurement, metrics-registry updates and the per-evaluation event.
-// With no observer and no registry attached it adds two nil checks and
-// nothing else — no time syscalls, no allocation.
-func (e *Engine) evaluate(ctx context.Context, r Request) (Value, error) {
-	if !e.obs.Enabled() && e.metrics == nil {
-		return e.serve(ctx, r)
-	}
-	start := time.Now()
-	v, err := e.serve(ctx, r)
-	if err != nil {
-		return v, err
-	}
-	wall := time.Since(start)
-	e.m.evals.Inc()
-	if v.Hit {
-		e.m.hits.Inc()
-	} else {
-		e.m.sims.Inc()
-		if r.Mode == Full {
-			e.m.fullAcc.Add(v.Work)
-			e.m.evalWallFull.Observe(float64(wall.Microseconds()))
-		} else {
-			e.m.sampledAcc.Add(v.Work)
-			e.m.evalWallSampled.Observe(float64(wall.Microseconds()))
-		}
-	}
-	if e.obs.Enabled() {
-		e.obs.Eval(obs.Evaluation{
-			Phase:     r.Phase,
-			Mem:       r.Mem.Name,
-			Conn:      r.Conn.Describe(r.Mem),
-			Cost:      v.Cost,
-			Latency:   v.Latency,
-			Energy:    v.Energy,
-			Estimated: v.Estimated,
-			CacheHit:  v.Hit,
-			Work:      v.Work,
-			Wall:      wall,
-		})
-	}
-	return v, nil
-}
-
-// serve answers one request from the cache or computes and caches it.
-func (e *Engine) serve(ctx context.Context, r Request) (Value, error) {
-	if r.Trace == nil || r.Mem == nil || r.Conn == nil {
-		return Value{}, fmt.Errorf("engine: request missing trace, memory or connectivity architecture")
-	}
-	key := e.key(r)
-	e.mu.Lock()
-	e.stats.Requests++
-	if r.Phase != "" {
-		e.phaseLocked(r.Phase).Requests++
-	}
-	if ent, ok := e.cache[key]; ok {
-		e.mu.Unlock()
-		select {
-		case <-ent.done:
-		case <-ctx.Done():
-			return Value{}, ctx.Err()
-		}
-		if ent.err != nil {
-			return Value{}, ent.err
-		}
-		e.mu.Lock()
-		e.stats.CacheHits++
-		e.mu.Unlock()
-		v := ent.val
-		v.Work = 0
-		v.Hit = true
-		return v, nil
-	}
-	ent := &entry{done: make(chan struct{})}
-	e.cache[key] = ent
-	e.mu.Unlock()
-
-	v, err := e.simulate(ctx, r)
+// finishOwned publishes an owned memo entry: failures are dropped from
+// the cache (never memoized) before the entry's waiters are released.
+func (e *Engine) finishOwned(key uint64, ent *entry, v Value, err error) {
 	if err != nil {
 		ent.err = err
 		e.mu.Lock()
-		delete(e.cache, key) // failures are not memoized
+		delete(e.cache, key)
 		e.mu.Unlock()
-		close(ent.done)
-		return Value{}, err
+	} else {
+		ent.val = v
 	}
-	ent.val = v
+	close(ent.done)
+}
+
+// recordSim accounts one completed simulation in the engine stats.
+func (e *Engine) recordSim(r Request, v Value) {
 	e.mu.Lock()
 	e.stats.Simulations++
 	if r.Mode == Full {
@@ -485,7 +382,86 @@ func (e *Engine) serve(ctx context.Context, r Request) (Value, error) {
 		e.phaseLocked(r.Phase).Simulations++
 	}
 	e.mu.Unlock()
-	close(ent.done)
+}
+
+// emitEval publishes the per-evaluation observer event.
+func (e *Engine) emitEval(r Request, v Value, wall time.Duration) {
+	if !e.obs.Enabled() {
+		return
+	}
+	e.obs.Eval(obs.Evaluation{
+		Phase:     r.Phase,
+		Mem:       r.Mem.Name,
+		Conn:      r.Conn.Describe(r.Mem),
+		Cost:      v.Cost,
+		Latency:   v.Latency,
+		Energy:    v.Energy,
+		Estimated: v.Estimated,
+		CacheHit:  v.Hit,
+		Work:      v.Work,
+		Wall:      wall,
+	})
+}
+
+// computeOne runs the per-request simulation path — Exact requests,
+// fingerprint groups too small to batch, and the fallback when a batch
+// replay fails — with full stats and observability accounting. With no
+// observer and no registry attached it adds two nil checks and nothing
+// else.
+func (e *Engine) computeOne(ctx context.Context, r Request) (Value, error) {
+	instrumented := e.obs.Enabled() || e.metrics != nil
+	var start time.Time
+	if instrumented {
+		start = time.Now()
+	}
+	v, err := e.simulate(ctx, r)
+	if err != nil {
+		return Value{}, err
+	}
+	e.recordSim(r, v)
+	if instrumented {
+		wall := time.Since(start)
+		e.m.evals.Inc()
+		e.m.sims.Inc()
+		if r.Mode == Full {
+			e.m.fullAcc.Add(v.Work)
+			e.m.evalWallFull.Observe(float64(wall.Microseconds()))
+		} else {
+			e.m.sampledAcc.Add(v.Work)
+			e.m.evalWallSampled.Observe(float64(wall.Microseconds()))
+		}
+		e.emitEval(r, v, wall)
+	}
+	return v, nil
+}
+
+// awaitHit waits for the owning computation of an already-claimed memo
+// entry and returns its value as a cache hit.
+func (e *Engine) awaitHit(ctx context.Context, r Request, ent *entry) (Value, error) {
+	instrumented := e.obs.Enabled() || e.metrics != nil
+	var start time.Time
+	if instrumented {
+		start = time.Now()
+	}
+	select {
+	case <-ent.done:
+	case <-ctx.Done():
+		return Value{}, ctx.Err()
+	}
+	if ent.err != nil {
+		return Value{}, ent.err
+	}
+	e.mu.Lock()
+	e.stats.CacheHits++
+	e.mu.Unlock()
+	v := ent.val
+	v.Work = 0
+	v.Hit = true
+	if instrumented {
+		e.m.evals.Inc()
+		e.m.hits.Inc()
+		e.emitEval(r, v, time.Since(start))
+	}
 	return v, nil
 }
 

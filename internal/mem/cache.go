@@ -2,6 +2,7 @@ package mem
 
 import (
 	"fmt"
+	"math/bits"
 
 	"memorex/internal/trace"
 )
@@ -40,6 +41,14 @@ type Cache struct {
 	name  string
 	gates float64
 	nrg   float64
+
+	// Precomputed indexing (line size and set count are powers of two,
+	// enforced by NewCache): Access is the innermost loop of every
+	// memory-side simulation and the div/mod pair showed up in its
+	// profile.
+	lineShift uint32
+	setShift  uint32
+	setMask   uint32
 
 	// Last eviction, for victim-buffer wrappers: the line address of
 	// the most recently displaced valid line, and whether it was dirty.
@@ -152,6 +161,9 @@ func (c *Cache) Reset() {
 	for i := range c.sets {
 		c.sets[i].lines = make([]cacheLine, c.Assoc)
 	}
+	c.lineShift = uint32(bits.TrailingZeros32(uint32(c.LineBytes)))
+	c.setShift = uint32(bits.TrailingZeros32(uint32(nSets)))
+	c.setMask = uint32(nSets - 1)
 	c.Hits, c.Misses, c.WriteBacks = 0, 0, 0
 }
 
@@ -165,10 +177,10 @@ func (c *Cache) Clone() Module {
 
 // Access implements Module.
 func (c *Cache) Access(a trace.Access, _ int64) AccessResult {
-	nSets := len(c.sets)
-	lineAddr := a.Addr / uint32(c.LineBytes)
-	set := &c.sets[lineAddr%uint32(nSets)]
-	tag := lineAddr / uint32(nSets)
+	lineAddr := a.Addr >> c.lineShift
+	setIdx := lineAddr & c.setMask
+	set := &c.sets[setIdx]
+	tag := lineAddr >> c.setShift
 
 	for i := range set.lines {
 		if set.lines[i].valid && set.lines[i].tag == tag {
@@ -200,7 +212,7 @@ func (c *Cache) Access(a trace.Access, _ int64) AccessResult {
 	wb := 0
 	c.lastEvictedValid = victim.valid
 	if victim.valid {
-		c.lastEvicted = victim.tag*uint32(nSets) + lineAddr%uint32(nSets)
+		c.lastEvicted = victim.tag<<c.setShift | setIdx
 		c.lastEvictedDirty = victim.dirty
 		if victim.dirty {
 			wb = c.LineBytes

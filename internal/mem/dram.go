@@ -2,6 +2,7 @@ package mem
 
 import (
 	"fmt"
+	"math/bits"
 
 	"memorex/internal/trace"
 )
@@ -34,6 +35,13 @@ type DRAM struct {
 	Policy        RowPolicy
 
 	openRows []int64
+
+	// Precomputed indexing for the common power-of-two geometry:
+	// AccessLatency runs once per miss in every simulation flavor, and
+	// the 64-bit div/mod pair was measurable there.
+	rowShift uint32
+	bankMask int64
+	pow2Geom bool
 
 	RowHits, RowMisses int64
 }
@@ -83,6 +91,11 @@ func (d *DRAM) Reset() {
 	for i := range d.openRows {
 		d.openRows[i] = -1
 	}
+	d.pow2Geom = pow2(d.RowBytes) && pow2(d.Banks)
+	if d.pow2Geom {
+		d.rowShift = uint32(bits.TrailingZeros32(uint32(d.RowBytes)))
+		d.bankMask = int64(d.Banks - 1)
+	}
 	d.RowHits, d.RowMisses = 0, 0
 }
 
@@ -109,8 +122,15 @@ func (d *DRAM) AccessLatency(addr uint32) int {
 		// Activate + CAS every time; no row state to track.
 		return (d.RowHitCycles + d.RowMissCycles) / 2
 	}
-	row := int64(addr) / int64(d.RowBytes)
-	bank := int(row) % d.Banks
+	var row int64
+	var bank int
+	if d.pow2Geom {
+		row = int64(addr >> d.rowShift)
+		bank = int(row & d.bankMask)
+	} else {
+		row = int64(addr) / int64(d.RowBytes)
+		bank = int(row) % d.Banks
+	}
 	if d.openRows[bank] == row {
 		d.RowHits++
 		return d.RowHitCycles

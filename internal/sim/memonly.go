@@ -70,11 +70,18 @@ func RunMemOnly(t *trace.Trace, arch *mem.Architecture) (*MemOnlyResult, error) 
 			}
 		}
 	}
+	// Flatten the route map once: the per-access map lookup (hash +
+	// probe) dominated this loop's profile for architectures with many
+	// routed data structures.
+	routeTab, routeDef := buildRouteTable(a)
 	res := &MemOnlyResult{ChannelBytes: make([]int64, len(channels))}
 	var now int64
 	for _, acc := range t.Accesses {
 		res.Accesses++
-		route := a.RouteOf(acc.DS)
+		route := int(routeDef)
+		if int(acc.DS) < len(routeTab) {
+			route = int(routeTab[acc.DS])
+		}
 		if route == mem.DirectDRAM {
 			res.Misses++
 			res.OffChipBytes += int64(acc.Size)

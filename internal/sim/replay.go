@@ -18,8 +18,6 @@
 package sim
 
 import (
-	"fmt"
-
 	"memorex/internal/connect"
 	"memorex/internal/mem"
 	"memorex/internal/rtable"
@@ -30,17 +28,8 @@ import (
 // shaped like Simulator.Run's. The behavior trace is read-only and may
 // be replayed concurrently by multiple goroutines.
 func Replay(bt *BehaviorTrace, connArch *connect.Arch) (*Result, error) {
-	if err := connArch.Validate(); err != nil {
+	if err := checkReplayArch(bt, connArch); err != nil {
 		return nil, err
-	}
-	if len(connArch.Channels) != len(bt.Channels) {
-		return nil, fmt.Errorf("sim: connectivity architecture covers %d channels, behavior trace has %d",
-			len(connArch.Channels), len(bt.Channels))
-	}
-	for i := range bt.Channels {
-		if bt.Channels[i] != connArch.Channels[i] {
-			return nil, fmt.Errorf("sim: channel %d mismatch between behavior trace and connectivity architecture", i)
-		}
 	}
 	r := newReplayer(bt, connArch)
 	r.run()
