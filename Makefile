@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-compare check
+.PHONY: build test race vet bench bench-compare cache-check check
 
 build:
 	$(GO) build ./...
@@ -25,16 +25,25 @@ bench:
 	@rm -f bench.out
 
 # bench-compare diffs two benchjson reports (override OLD/NEW to pick
-# others) and fails when any benchmark's ns/op regressed by more than
-# 10% — the perf gate for CI.
+# others) and fails when any benchmark's ns/op or B/op regressed by
+# more than 10% — the perf gate for CI.
 OLD ?= BENCH_PR3.json
 NEW ?= BENCH_PR4.json
 bench-compare:
 	$(GO) run ./cmd/benchjson -compare $(OLD) $(NEW)
 
+# cache-check runs the persistent behavior-trace cache suite under the
+# race detector: the btcache codec/fault-injection/concurrency tests,
+# the engine disk-cache layering tests, and the end-to-end Explorer
+# warm-start test.
+cache-check:
+	$(GO) test -race ./internal/btcache/
+	$(GO) test -race -run 'TestDisk|TestBehaviorFingerprint' ./internal/engine/
+	$(GO) test -race -run 'TestExplorerWarmStart' .
+
 # check is the gate a change must pass before review: formatting is
-# clean, vet finds nothing, and the whole suite passes under the race
-# detector.
-check: vet
+# clean, vet finds nothing, the whole suite passes under the race
+# detector, and the trace-cache fault/warm-start suite holds.
+check: vet cache-check
 	@fmt=$$(gofmt -l .); if [ -n "$$fmt" ]; then echo "gofmt needed:"; echo "$$fmt"; exit 1; fi
 	$(GO) test -race ./...

@@ -16,8 +16,9 @@
 // With -compare, benchjson prints a per-benchmark delta table (ns/op,
 // B/op, allocs/op) of the current results — a report file given as the
 // positional argument, or bench text on stdin — against the old report,
-// and exits non-zero when any benchmark's ns/op regressed by more than
-// 10%. This is the CI regression gate behind `make bench-compare`.
+// and exits non-zero when any benchmark's ns/op or B/op regressed by
+// more than 10%. This is the CI regression gate behind
+// `make bench-compare`.
 package main
 
 import (
@@ -25,6 +26,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"math"
 	"os"
@@ -50,15 +52,15 @@ type Report struct {
 	Speedup    map[string]float64 `json:"speedup,omitempty"`
 }
 
-// regressionLimit is the ns/op increase (fractional) above which
-// -compare fails the run.
+// regressionLimit is the ns/op or B/op increase (fractional) above
+// which -compare fails the run.
 const regressionLimit = 0.10
 
 func main() {
 	cliutil.Init("benchjson")
 	out := flag.String("out", "", "output file (default: stdout)")
 	baseline := flag.String("baseline", "", "previous benchjson report to embed for before/after comparison")
-	compare := flag.String("compare", "", "previous benchjson report to diff against; prints deltas and fails on >10% ns/op regression")
+	compare := flag.String("compare", "", "previous benchjson report to diff against; prints deltas and fails on >10% ns/op or B/op regression")
 	flag.Parse()
 
 	if *compare != "" {
@@ -155,9 +157,10 @@ func loadReport(path string) (map[string]Bench, error) {
 }
 
 // printDeltas writes a per-benchmark delta table of the canonical
-// metrics and reports whether the run passes the regression gate (no
-// benchmark's ns/op grew by more than regressionLimit).
-func printDeltas(w *os.File, old, cur map[string]Bench) bool {
+// metrics and reports whether the run passes the regression gate: no
+// benchmark's ns/op (wall time) or B/op (allocation growth) may grow
+// by more than regressionLimit.
+func printDeltas(w io.Writer, old, cur map[string]Bench) bool {
 	names := make([]string, 0, len(cur))
 	for name := range cur {
 		if _, ok := old[name]; ok {
@@ -174,18 +177,27 @@ func printDeltas(w *os.File, old, cur map[string]Bench) bool {
 		"benchmark", "old ns/op", "new ns/op", "Δns/op", "ΔB/op", "Δallocs")
 	for _, name := range names {
 		o, c := old[name].Metrics, cur[name].Metrics
-		d := delta(o["ns/op"], c["ns/op"])
-		flag := ""
-		if !math.IsNaN(d) && d > regressionLimit*100 {
+		dNS := delta(o["ns/op"], c["ns/op"])
+		dB := delta(o["B/op"], c["B/op"])
+		var flags []string
+		if !math.IsNaN(dNS) && dNS > regressionLimit*100 {
 			pass = false
-			flag = "  REGRESSION"
+			flags = append(flags, "REGRESSION")
+		}
+		if !math.IsNaN(dB) && dB > regressionLimit*100 {
+			pass = false
+			flags = append(flags, "ALLOC-REGRESSION")
+		}
+		flag := ""
+		if len(flags) > 0 {
+			flag = "  " + strings.Join(flags, " ")
 		}
 		fmt.Fprintf(w, "%-34s %14.0f %14.0f %8s %8s %10s%s\n",
 			name, o["ns/op"], c["ns/op"],
-			pct(d), pct(delta(o["B/op"], c["B/op"])), pct(delta(o["allocs/op"], c["allocs/op"])), flag)
+			pct(dNS), pct(dB), pct(delta(o["allocs/op"], c["allocs/op"])), flag)
 	}
 	if !pass {
-		fmt.Fprintf(w, "FAIL: ns/op regression above %.0f%%\n", regressionLimit*100)
+		fmt.Fprintf(w, "FAIL: ns/op or B/op regression above %.0f%%\n", regressionLimit*100)
 	}
 	return pass
 }

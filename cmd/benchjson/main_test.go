@@ -1,0 +1,77 @@
+package main
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func bench(ns, bop, allocs float64) Bench {
+	return Bench{Iterations: 1, Metrics: map[string]float64{
+		"ns/op": ns, "B/op": bop, "allocs/op": allocs,
+	}}
+}
+
+func TestParseLine(t *testing.T) {
+	name, b, ok := parseLine("BenchmarkFigure4-8   3   812345678 ns/op   1024 B/op   12 allocs/op")
+	if !ok || name != "BenchmarkFigure4" {
+		t.Fatalf("parseLine: ok=%v name=%q", ok, name)
+	}
+	if b.Iterations != 3 || b.Metrics["ns/op"] != 812345678 || b.Metrics["B/op"] != 1024 || b.Metrics["allocs/op"] != 12 {
+		t.Fatalf("parseLine metrics: %+v", b)
+	}
+	for _, junk := range []string{"", "ok  memorex 1.2s", "PASS", "Benchmark", "BenchmarkX notanint 5 ns/op"} {
+		if _, _, ok := parseLine(junk); ok {
+			t.Fatalf("parseLine accepted %q", junk)
+		}
+	}
+}
+
+// TestPrintDeltasGate: the compare gate fails on >10% ns/op growth, on
+// >10% B/op growth, and passes improvements and small noise.
+func TestPrintDeltasGate(t *testing.T) {
+	cases := []struct {
+		name     string
+		old, cur Bench
+		pass     bool
+		want     string
+	}{
+		{"unchanged", bench(100, 50, 2), bench(100, 50, 2), true, ""},
+		{"faster", bench(100, 50, 2), bench(50, 40, 1), true, ""},
+		{"small noise", bench(100, 50, 2), bench(109, 54, 2), true, ""},
+		{"ns regression", bench(100, 50, 2), bench(120, 50, 2), false, "REGRESSION"},
+		{"alloc regression", bench(100, 50, 2), bench(100, 60, 2), false, "ALLOC-REGRESSION"},
+		{"both regress", bench(100, 50, 2), bench(120, 60, 2), false, "REGRESSION ALLOC-REGRESSION"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var sb strings.Builder
+			got := printDeltas(&sb, map[string]Bench{"BenchmarkX": c.old}, map[string]Bench{"BenchmarkX": c.cur})
+			if got != c.pass {
+				t.Fatalf("pass = %v, want %v\n%s", got, c.pass, sb.String())
+			}
+			if c.want != "" && !strings.Contains(sb.String(), c.want) {
+				t.Fatalf("output lacks %q:\n%s", c.want, sb.String())
+			}
+		})
+	}
+
+	// No overlap between the reports is a failure, not a silent pass.
+	var sb strings.Builder
+	if printDeltas(&sb, map[string]Bench{"A": bench(1, 1, 1)}, map[string]Bench{"B": bench(1, 1, 1)}) {
+		t.Fatal("disjoint reports passed the gate")
+	}
+}
+
+// TestDelta: absent metrics are NaN (ignored by the gate), not zero.
+func TestDelta(t *testing.T) {
+	if d := delta(0, 100); !math.IsNaN(d) {
+		t.Fatalf("delta from 0 = %v, want NaN", d)
+	}
+	if d := delta(100, 110); d != 10 {
+		t.Fatalf("delta(100,110) = %v, want 10", d)
+	}
+	if pct(math.NaN()) != "-" {
+		t.Fatal("pct(NaN) must render as -")
+	}
+}

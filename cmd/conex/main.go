@@ -6,6 +6,7 @@
 // Usage:
 //
 //	conex [-bench compress|li|vocoder] [-arch N] [-scale N] [-seed N]
+//	      [-trace-cache DIR] [-trace-cache-limit SIZE]
 //	      [-events FILE] [-progress] [-debug-addr ADDR]
 package main
 
@@ -28,8 +29,10 @@ func main() {
 	cliutil.Init("conex")
 	var wl cliutil.WorkloadFlags
 	var ob cliutil.ObsFlags
+	var cf cliutil.CacheFlags
 	wl.Register(flag.CommandLine)
 	ob.Register(flag.CommandLine)
+	cf.Register(flag.CommandLine)
 	archIdx := flag.Int("arch", 0, "index into the APEX selection")
 	flag.Parse()
 
@@ -85,7 +88,12 @@ func main() {
 		}
 	}()
 	reg := obs.NewRegistry()
-	opt.ConEx.Engine = engine.New(0, engine.WithObserver(observer), engine.WithMetrics(reg))
+	cache, err := cf.Open(reg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt.ConEx.Engine = engine.New(0, engine.WithObserver(observer), engine.WithMetrics(reg),
+		engine.WithBehaviorCache(cache))
 	ob.ServeDebug(reg.Snapshot)
 
 	ctx, cancel := cliutil.SignalContext()
@@ -102,5 +110,8 @@ func main() {
 	for _, p := range sel {
 		fmt.Printf("  %12.0f gates %8.2f cyc %7.2f nJ  %s\n",
 			p.Cost, p.Latency, p.Energy, p.Conn.Describe(arch))
+	}
+	if cache != nil {
+		fmt.Println(cache)
 	}
 }

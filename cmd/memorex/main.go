@@ -7,13 +7,17 @@
 //
 //	memorex [-bench compress|li|vocoder] [-scale N] [-seed N] [-workers N]
 //	        [-keep N] [-cap N] [-scenario power|cost|perf] [-limit V]
-//	        [-exact] [-events FILE] [-progress] [-debug-addr ADDR]
+//	        [-exact] [-trace-cache DIR] [-trace-cache-limit SIZE]
+//	        [-events FILE] [-progress] [-debug-addr ADDR]
 //	        [-cpuprofile file] [-memprofile file]
 //
 // -events streams every run/phase/evaluation/prune event as JSON Lines;
 // -progress paints a live status line; -debug-addr serves expvar
 // (including the exploration metrics registry) and pprof while the
-// exploration runs. Ctrl-C cancels between design-point evaluations.
+// exploration runs. -trace-cache persists Phase A behavior traces
+// across runs, so re-running the same benchmark warm-starts without
+// re-simulating the memory modules. Ctrl-C cancels between design-point
+// evaluations.
 package main
 
 import (
@@ -35,10 +39,12 @@ func main() {
 	var ev cliutil.EvalFlags
 	var prof cliutil.ProfileFlags
 	var ob cliutil.ObsFlags
+	var cf cliutil.CacheFlags
 	wl.Register(flag.CommandLine)
 	ev.Register(flag.CommandLine)
 	prof.Register(flag.CommandLine)
 	ob.Register(flag.CommandLine)
+	cf.Register(flag.CommandLine)
 	keep := flag.Int("keep", 8, "locally promising designs kept per memory architecture")
 	assignCap := flag.Int("cap", 192, "max connectivity assignments per clustering level")
 	scenario := flag.String("scenario", "", "constrained selection: power, cost or perf")
@@ -89,7 +95,7 @@ func main() {
 		}
 	}()
 
-	ex, err := memorex.NewExplorer(
+	exOpts := []memorex.ExplorerOption{
 		memorex.WithWorkloadConfig(wl.Config()),
 		memorex.WithWorkers(ev.Workers),
 		memorex.WithLibrary(lib),
@@ -97,7 +103,15 @@ func main() {
 		memorex.WithAssignCap(*assignCap),
 		memorex.WithExact(ev.Exact),
 		memorex.WithObserver(observer),
-	)
+	}
+	if cf.Dir != "" {
+		limit, err := cf.LimitBytes()
+		if err != nil {
+			log.Fatal(err)
+		}
+		exOpts = append(exOpts, memorex.WithTraceCache(cf.Dir), memorex.WithTraceCacheLimit(limit))
+	}
+	ex, err := memorex.NewExplorer(exOpts...)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -194,4 +208,8 @@ func main() {
 		rep.ConEx.EstimatedAccesses, rep.ConEx.SimulatedAccesses,
 		time.Since(start).Round(time.Millisecond))
 	fmt.Println(ex.Stats())
+	if cs, ok := ex.TraceCacheStats(); ok {
+		fmt.Printf("trace cache %s: %d hits, %d misses (%d corrupt quarantined), %d puts, %d evictions, %d bytes on disk\n",
+			cf.Dir, cs.Hits, cs.Misses, cs.CorruptQuarantined, cs.Puts, cs.Evictions, cs.BytesOnDisk)
+	}
 }

@@ -5,6 +5,7 @@
 //
 //	paperbench [-exp fig3|fig4|fig6|fige|tab1|tab2|all] [-preset paper|quick]
 //	           [-workers N] [-stats] [-exact]
+//	           [-trace-cache DIR] [-trace-cache-limit SIZE]
 //	           [-events FILE] [-progress] [-debug-addr ADDR]
 //	           [-cpuprofile file] [-memprofile file]
 //
@@ -34,9 +35,11 @@ func main() {
 	var ev cliutil.EvalFlags
 	var prof cliutil.ProfileFlags
 	var ob cliutil.ObsFlags
+	var cf cliutil.CacheFlags
 	ev.Register(flag.CommandLine)
 	prof.Register(flag.CommandLine)
 	ob.Register(flag.CommandLine)
+	cf.Register(flag.CommandLine)
 	exp := flag.String("exp", "all", "experiment to run: fig3, fig4, fig6, fige, tab1, tab2, all")
 	preset := flag.String("preset", "paper", "sizing preset: paper or quick")
 	stats := flag.Bool("stats", true, "print evaluation-engine statistics after each experiment")
@@ -78,8 +81,13 @@ func main() {
 	// Rebuild the preset's shared engine so the figure experiments run
 	// with the requested worker bound and instrumentation attached.
 	reg := obs.NewRegistry()
+	cache, err := cf.Open(reg)
+	if err != nil {
+		log.Fatal(err)
+	}
 	opt.ConEx.Engine = engine.New(opt.ConEx.Workers,
-		engine.WithObserver(observer), engine.WithMetrics(reg))
+		engine.WithObserver(observer), engine.WithMetrics(reg),
+		engine.WithBehaviorCache(cache))
 	ob.ServeDebug(reg.Snapshot)
 
 	ctx, cancel := cliutil.SignalContext()
@@ -118,5 +126,8 @@ func main() {
 		log.Printf("unknown experiment %q", *exp)
 		flag.Usage()
 		os.Exit(2)
+	}
+	if cache != nil && *stats {
+		fmt.Println(cache)
 	}
 }

@@ -5,6 +5,14 @@
 // Usage:
 //
 //	simulate -arch system.adl [-bench compress] [-trace file.mtr]
+//	         [-trace-cache DIR] [-trace-cache-limit SIZE]
+//
+// With -trace-cache the simulation runs in two phases: the memory-
+// module behavior of (trace, memory architecture) is captured once and
+// persisted in the cache directory, and this and every later run — of
+// this command or of the exploration engines sharing the directory —
+// only replays the connectivity against it. Results are identical to
+// the one-phase simulation.
 //
 // Example system.adl:
 //
@@ -28,14 +36,19 @@ import (
 
 	"memorex/internal/adl"
 	"memorex/internal/cliutil"
+	"memorex/internal/engine"
+	"memorex/internal/sampling"
 	"memorex/internal/sim"
+	"memorex/internal/trace"
 )
 
 func main() {
 	cliutil.Init("simulate")
 	var wl cliutil.WorkloadFlags
+	var cf cliutil.CacheFlags
 	wl.Register(flag.CommandLine)
 	wl.RegisterTraceFile(flag.CommandLine)
+	cf.Register(flag.CommandLine)
 	archPath := flag.String("arch", "", "architecture description file (required)")
 	libPath := flag.String("lib", "", "JSON connectivity library (default: built-in)")
 	flag.Parse()
@@ -68,11 +81,7 @@ func main() {
 	fmt.Printf("cost:         %.0f gates (memory %.0f + connectivity %.0f)\n",
 		sys.Mem.Gates()+sys.Conn.Gates(), sys.Mem.Gates(), sys.Conn.Gates())
 
-	s, err := sim.New(sys.Mem, sys.Conn)
-	if err != nil {
-		log.Fatal(err)
-	}
-	r, err := s.Run(tr)
+	r, err := run(tr, sys, &cf)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -91,4 +100,35 @@ func main() {
 		fmt.Printf("  %-32s %10d B %9d transfers  avg wait %.2f cyc\n",
 			ch.Label(sys.Mem), r.ChannelBytes[i], r.ChannelTransfers[i], avgWait)
 	}
+}
+
+// run simulates the system: one-phase by default, or capture-and-replay
+// through the persistent behavior-trace cache with -trace-cache, where
+// the capture is served from disk when an earlier run already did it.
+func run(tr *trace.Trace, sys *adl.System, cf *cliutil.CacheFlags) (*sim.Result, error) {
+	if cf.Dir == "" {
+		s, err := sim.New(sys.Mem, sys.Conn)
+		if err != nil {
+			return nil, err
+		}
+		return s.Run(tr)
+	}
+	cache, err := cf.Open(nil)
+	if err != nil {
+		return nil, err
+	}
+	fp := engine.BehaviorFingerprint(tr, sys.Mem, engine.Full, sampling.Config{})
+	bt, ok := cache.Get(fp)
+	if !ok {
+		if bt, err = sim.CaptureBehavior(tr, sys.Mem, nil); err != nil {
+			return nil, err
+		}
+		if err := cache.Put(fp, bt); err != nil {
+			log.Printf("trace cache: %v", err)
+		}
+		fmt.Printf("\ntrace cache:  captured behavior into %s\n", cf.Dir)
+	} else {
+		fmt.Printf("\ntrace cache:  behavior loaded from %s (capture skipped)\n", cf.Dir)
+	}
+	return sim.Replay(bt, sys.Conn)
 }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"memorex/internal/apex"
+	"memorex/internal/btcache"
 	"memorex/internal/core"
 	"memorex/internal/engine"
 	"memorex/internal/mem"
@@ -37,6 +38,9 @@ type (
 	// RingSink retains the last n events in memory; its Events method
 	// returns them oldest-first (tests, postmortem inspection).
 	RingSink = obs.Ring
+	// TraceCacheStats is a snapshot of the persistent behavior-trace
+	// cache counters (see WithTraceCache).
+	TraceCacheStats = btcache.Stats
 )
 
 // Event kinds of the structured stream.
@@ -94,6 +98,7 @@ type Explorer struct {
 	eng     *engine.Engine
 	obs     *obs.Observer
 	reg     *obs.Registry
+	cache   *btcache.Cache // nil without WithTraceCache
 }
 
 // explorerConfig accumulates the functional options before
@@ -106,6 +111,8 @@ type explorerConfig struct {
 	engine   *engine.Engine
 	observer *obs.Observer
 	sinks    []obs.Sink
+	cacheDir string
+	cacheCap int64
 }
 
 // ExplorerOption configures an Explorer. Options are applied in order;
@@ -138,6 +145,24 @@ func WithObserver(o *Observer) ExplorerOption {
 // uses accumulate sinks.
 func WithEventSinks(sinks ...EventSink) ExplorerOption {
 	return func(c *explorerConfig) { c.sinks = append(c.sinks, sinks...) }
+}
+
+// WithTraceCache persists Phase A behavior traces in dir: captures are
+// written through to disk and later Explorers (including in other
+// processes) sharing the directory warm-start from it instead of
+// re-simulating the memory modules. Entries are fully validated on
+// load — a damaged entry is quarantined and recaptured, never served.
+// Combining with WithEngine is an error because an engine's cache is
+// fixed at construction; attach the cache to the engine instead.
+func WithTraceCache(dir string) ExplorerOption {
+	return func(c *explorerConfig) { c.cacheDir = dir }
+}
+
+// WithTraceCacheLimit bounds the trace cache's on-disk size in bytes;
+// least-recently-used entries are evicted beyond it. 0 (the default)
+// means unbounded. Only meaningful together with WithTraceCache.
+func WithTraceCacheLimit(bytes int64) ExplorerOption {
+	return func(c *explorerConfig) { c.cacheCap = bytes }
 }
 
 // WithWorkloadConfig sets the benchmark scaling. The zero config means
@@ -225,14 +250,32 @@ func NewExplorer(opts ...ExplorerOption) (*Explorer, error) {
 		eng = conexCfg.Engine
 	}
 	var reg *obs.Registry
+	var cache *btcache.Cache
 	if eng == nil {
 		reg = obs.NewRegistry()
 		workers := c.workers
 		if workers == 0 {
 			workers = conexCfg.Workers
 		}
-		eng = engine.New(workers, engine.WithObserver(observer), engine.WithMetrics(reg))
+		engOpts := []engine.Option{engine.WithObserver(observer), engine.WithMetrics(reg)}
+		if c.cacheDir != "" {
+			var cacheOpts []btcache.Option
+			if c.cacheCap > 0 {
+				cacheOpts = append(cacheOpts, btcache.WithLimit(c.cacheCap))
+			}
+			cacheOpts = append(cacheOpts, btcache.WithMetrics(reg))
+			var err error
+			cache, err = btcache.Open(c.cacheDir, cacheOpts...)
+			if err != nil {
+				return nil, fmt.Errorf("memorex: %w", err)
+			}
+			engOpts = append(engOpts, engine.WithBehaviorCache(cache))
+		}
+		eng = engine.New(workers, engOpts...)
 	} else {
+		if c.cacheDir != "" {
+			return nil, fmt.Errorf("memorex: WithEngine and WithTraceCache are mutually exclusive; attach the cache when building the engine (engine.WithBehaviorCache)")
+		}
 		// A supplied engine carries its own instrumentation, fixed at
 		// construction; a second observer would silently miss the
 		// per-evaluation events, so reject the combination outright.
@@ -251,6 +294,7 @@ func NewExplorer(opts ...ExplorerOption) (*Explorer, error) {
 		eng:     eng,
 		obs:     observer,
 		reg:     reg,
+		cache:   cache,
 	}, nil
 }
 
@@ -271,6 +315,15 @@ func (x *Explorer) Observer() *Observer { return x.obs }
 // Stats returns a snapshot of the evaluation-engine counters,
 // cumulative over every run of this Explorer.
 func (x *Explorer) Stats() EngineStats { return x.eng.Stats() }
+
+// TraceCacheStats returns a snapshot of the persistent behavior-trace
+// cache counters, and whether a cache is attached (see WithTraceCache).
+func (x *Explorer) TraceCacheStats() (TraceCacheStats, bool) {
+	if x.cache == nil {
+		return TraceCacheStats{}, false
+	}
+	return x.cache.Stats(), true
+}
 
 // MetricsSnapshot returns a point-in-time copy of the metrics
 // registry, cumulative over every run of this Explorer.

@@ -3,9 +3,88 @@ package memorex
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"strings"
 	"testing"
 )
+
+// TestExplorerWarmStart is the end-to-end contract of the persistent
+// behavior-trace cache: a second Explorer sharing the cache directory
+// runs the whole pipeline without a single Phase A capture, serves
+// every behavior trace from disk, surfaces the cache counters in
+// Report.Metrics, and produces byte-identical design points.
+func TestExplorerWarmStart(t *testing.T) {
+	dir := t.TempDir()
+	run := func() (*Report, EngineStats, TraceCacheStats) {
+		t.Helper()
+		ex, err := NewExplorer(append(fastExplorerOpts(), WithTraceCache(dir))...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := ex.Explore(context.Background(), "vocoder")
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs, ok := ex.TraceCacheStats()
+		if !ok {
+			t.Fatal("TraceCacheStats reports no cache despite WithTraceCache")
+		}
+		return rep, ex.Stats(), cs
+	}
+
+	rep1, st1, cs1 := run()
+	if st1.BehaviorCaptures == 0 {
+		t.Fatal("cold run captured no behavior traces")
+	}
+	if cs1.Puts == 0 || cs1.Hits != 0 {
+		t.Fatalf("cold cache stats = %+v, want puts and no hits", cs1)
+	}
+
+	rep2, st2, cs2 := run()
+	if st2.BehaviorCaptures != 0 {
+		t.Fatalf("warm run ran %d behavior captures, want 0", st2.BehaviorCaptures)
+	}
+	if st2.BehaviorDiskHits == 0 || cs2.Hits == 0 {
+		t.Fatalf("warm run served nothing from disk: engine %+v, cache %+v", st2, cs2)
+	}
+	if cs2.CorruptQuarantined != 0 {
+		t.Fatalf("warm run quarantined %d entries", cs2.CorruptQuarantined)
+	}
+
+	// The cache counters must surface through Report.Metrics (and thus
+	// the report's JSON form).
+	if rep2.Metrics.Counters["btcache/hits"] == 0 {
+		t.Fatalf("btcache counters missing from Report.Metrics: %+v", rep2.Metrics.Counters)
+	}
+	if rep2.Metrics.Counters["engine/behavior_disk_hits"] == 0 {
+		t.Fatal("engine/behavior_disk_hits missing from Report.Metrics")
+	}
+
+	// Bit-identical results: the serialized design points of both runs
+	// must match byte for byte (engine stats and metrics carry wall
+	// times and cache counters that legitimately differ, so compare the
+	// designs section).
+	designs := func(r *Report) []byte {
+		t.Helper()
+		var buf bytes.Buffer
+		if err := r.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		var rj ReportJSON
+		if err := json.Unmarshal(buf.Bytes(), &rj); err != nil {
+			t.Fatal(err)
+		}
+		rj.Engine, rj.Metrics = nil, nil
+		out, err := json.Marshal(rj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	if d1, d2 := designs(rep1), designs(rep2); !bytes.Equal(d1, d2) {
+		t.Fatalf("warm-start designs diverged:\ncold %s\nwarm %s", d1, d2)
+	}
+}
 
 // fastExplorerOpts shrinks the design spaces so Explorer tests stay
 // quick, mirroring fastOptions for the legacy Options surface.
@@ -174,6 +253,10 @@ func TestNewExplorerErrors(t *testing.T) {
 		{"observer+sinks", []ExplorerOption{
 			WithObserver(NewObserver(NewRingSink(4))),
 			WithEventSinks(NewRingSink(4)),
+		}, "mutually exclusive"},
+		{"engine+tracecache", []ExplorerOption{
+			WithEngine(NewEngine(1)),
+			WithTraceCache(t.TempDir()),
 		}, "mutually exclusive"},
 	}
 	for _, c := range cases {

@@ -1,0 +1,225 @@
+package btcache
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"memorex/internal/connect"
+	"memorex/internal/obs"
+	"memorex/internal/sim"
+	"memorex/internal/workload"
+)
+
+// testConn builds a minimal feasible connectivity architecture over a
+// behavior trace's channel list (one single-channel cluster each).
+func testConn(t testing.TB, bt *sim.BehaviorTrace) *connect.Arch {
+	t.Helper()
+	lib := connect.Library()
+	on, err := connect.ByName(lib, "ahb32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := connect.ByName(lib, "off32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &connect.Arch{Channels: bt.Channels}
+	for i, ch := range bt.Channels {
+		c.Clusters = append(c.Clusters, []int{i})
+		if ch.OffChip {
+			c.Assign = append(c.Assign, off)
+		} else {
+			c.Assign = append(c.Assign, on)
+		}
+	}
+	return c
+}
+
+// TestCachePutGet: a stored entry round-trips through disk, counts a
+// hit, and a fresh fingerprint misses.
+func TestCachePutGet(t *testing.T) {
+	reg := obs.NewRegistry()
+	c, err := Open(t.TempDir(), WithMetrics(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bt := captureWorkload(t, workload.Vocoder{}, true, false)
+	const fp = 7
+
+	if _, ok := c.Get(fp); ok {
+		t.Fatal("empty cache served a hit")
+	}
+	if err := c.Put(fp, bt); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Get(fp)
+	if !ok {
+		t.Fatal("stored entry missed")
+	}
+	if !reflect.DeepEqual(got, bt) {
+		t.Fatal("disk round trip changed the trace")
+	}
+	if _, ok := c.Get(8); ok {
+		t.Fatal("unrelated fingerprint hit")
+	}
+
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 2 || st.Puts != 1 || st.BytesOnDisk <= 0 {
+		t.Fatalf("stats = %+v, want 1 hit, 2 misses, 1 put, positive bytes", st)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["btcache/hits"] != 1 || snap.Counters["btcache/misses"] != 2 ||
+		snap.Counters["btcache/puts"] != 1 {
+		t.Fatalf("registry counters inconsistent: %+v", snap.Counters)
+	}
+	if snap.Gauges["btcache/bytes_on_disk"] != float64(st.BytesOnDisk) {
+		t.Fatalf("bytes gauge %v != stats %d", snap.Gauges["btcache/bytes_on_disk"], st.BytesOnDisk)
+	}
+}
+
+// TestCacheNil: a nil cache is the disabled cache.
+func TestCacheNil(t *testing.T) {
+	var c *Cache
+	if _, ok := c.Get(1); ok {
+		t.Fatal("nil cache hit")
+	}
+	if err := c.Put(1, &sim.BehaviorTrace{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCacheEviction: with a byte budget, the least-recently-used
+// entries go first — and a Get refreshes recency, so a hot old entry
+// survives a colder, younger one.
+func TestCacheEviction(t *testing.T) {
+	dir := t.TempDir()
+	bt := captureWorkload(t, workload.Compress{}, true, false)
+	one := int64(len(Encode(bt, 0)))
+
+	// Budget for roughly two entries.
+	c, err := Open(dir, WithLimit(2*one+one/2), WithMetrics(obs.NewRegistry()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for fp := uint64(1); fp <= 3; fp++ {
+		if err := c.Put(fp, bt); err != nil {
+			t.Fatal(err)
+		}
+		// Backdate each entry so the LRU order is unambiguous even on
+		// filesystems with coarse timestamp granularity: lower
+		// fingerprints end up strictly older.
+		past := time.Now().Add(-time.Duration(4-fp) * time.Second)
+		os.Chtimes(filepath.Join(dir, entryName(fp)), past, past)
+	}
+
+	// Entry 1 (oldest mtime) must have been evicted by the third Put.
+	if _, err := os.Stat(filepath.Join(dir, entryName(1))); !os.IsNotExist(err) {
+		t.Fatalf("oldest entry survived eviction (stat err %v)", err)
+	}
+	st := c.Stats()
+	if st.Evictions == 0 {
+		t.Fatalf("stats = %+v, want evictions", st)
+	}
+	if st.BytesOnDisk > 2*one+one/2 {
+		t.Fatalf("bytes on disk %d above the %d budget", st.BytesOnDisk, 2*one+one/2)
+	}
+
+	// Touch entry 2 far into the future, then overflow again: entry 3
+	// (now least recently used) is the victim, not the freshly-hot 2.
+	hot := time.Now().Add(time.Hour)
+	os.Chtimes(filepath.Join(dir, entryName(2)), hot, hot)
+	if err := c.Put(4, bt); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(2); !ok {
+		t.Fatal("recently used entry evicted before a colder one")
+	}
+	if _, err := os.Stat(filepath.Join(dir, entryName(3))); !os.IsNotExist(err) {
+		t.Fatalf("cold entry 3 survived while hot 2 was expected to (stat err %v)", err)
+	}
+}
+
+// TestCacheOpenRescan: a reopened cache accounts pre-existing entries
+// and enforces the budget immediately.
+func TestCacheOpenRescan(t *testing.T) {
+	dir := t.TempDir()
+	bt := captureWorkload(t, workload.Compress{}, true, false)
+	c1, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for fp := uint64(1); fp <= 4; fp++ {
+		if err := c1.Put(fp, bt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	total := c1.Stats().BytesOnDisk
+
+	c2, err := Open(dir, WithLimit(total/2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := c2.Stats()
+	if st.BytesOnDisk > total/2 {
+		t.Fatalf("reopened cache holds %d bytes above its %d budget", st.BytesOnDisk, total/2)
+	}
+	if st.Evictions == 0 {
+		t.Fatal("reopened cache did not evict down to its budget")
+	}
+}
+
+// TestCacheConcurrentAccess races Puts and Gets on overlapping
+// fingerprints (run under -race): every Get must return either a miss
+// or a trace identical to what was stored.
+func TestCacheConcurrentAccess(t *testing.T) {
+	c, err := Open(t.TempDir(), WithMetrics(obs.NewRegistry()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bt := captureWorkload(t, workload.Li{}, true, false)
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				fp := uint64(i % 3)
+				if w%2 == 0 {
+					if err := c.Put(fp, bt); err != nil {
+						t.Errorf("put: %v", err)
+						return
+					}
+				}
+				if got, ok := c.Get(fp); ok {
+					if !reflect.DeepEqual(got, bt) {
+						t.Error("concurrent Get returned a different trace")
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if n := c.Stats().CorruptQuarantined; n != 0 {
+		t.Fatalf("%d spurious corruption quarantines under concurrency", n)
+	}
+}
+
+// TestOpenErrors: unopenable directories are reported, not deferred.
+func TestOpenErrors(t *testing.T) {
+	if _, err := Open(""); err == nil {
+		t.Fatal("Open(\"\") succeeded")
+	}
+	file := filepath.Join(t.TempDir(), "f")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(filepath.Join(file, "sub")); err == nil {
+		t.Fatal("Open under a regular file succeeded")
+	}
+}

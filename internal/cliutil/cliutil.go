@@ -18,8 +18,10 @@ import (
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 
+	"memorex/internal/btcache"
 	"memorex/internal/connect"
 	"memorex/internal/obs"
 	"memorex/internal/trace"
@@ -101,6 +103,79 @@ type EvalFlags struct {
 func (e *EvalFlags) Register(fs *flag.FlagSet) {
 	fs.IntVar(&e.Workers, "workers", 0, "evaluation worker pool size (0 = all CPUs)")
 	fs.BoolVar(&e.Exact, "exact", false, "use the one-phase exact simulator instead of behavior-trace replay")
+}
+
+// CacheFlags is the shared persistent behavior-trace cache flag set:
+// -trace-cache selects the cache directory (empty = no cache) and
+// -trace-cache-limit bounds its on-disk size.
+type CacheFlags struct {
+	Dir   string
+	Limit string
+}
+
+// Register installs -trace-cache/-trace-cache-limit on fs.
+func (c *CacheFlags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&c.Dir, "trace-cache", "", "persist Phase A behavior traces in this directory across runs (empty = off)")
+	fs.StringVar(&c.Limit, "trace-cache-limit", "", "trace cache size bound, e.g. 64M or 2G (empty = unbounded)")
+}
+
+// LimitBytes parses -trace-cache-limit (0 when unset).
+func (c *CacheFlags) LimitBytes() (int64, error) {
+	if c.Limit == "" {
+		return 0, nil
+	}
+	n, err := ParseSize(c.Limit)
+	if err != nil {
+		return 0, fmt.Errorf("trace-cache-limit: %w", err)
+	}
+	return n, nil
+}
+
+// Open opens the cache the flags select, feeding its counters into reg
+// (which may be nil). Without -trace-cache it returns (nil, nil) — the
+// nil *btcache.Cache is the disabled cache everywhere it is accepted.
+func (c *CacheFlags) Open(reg *obs.Registry) (*btcache.Cache, error) {
+	if c.Dir == "" {
+		return nil, nil
+	}
+	limit, err := c.LimitBytes()
+	if err != nil {
+		return nil, err
+	}
+	var opts []btcache.Option
+	if limit > 0 {
+		opts = append(opts, btcache.WithLimit(limit))
+	}
+	if reg != nil {
+		opts = append(opts, btcache.WithMetrics(reg))
+	}
+	return btcache.Open(c.Dir, opts...)
+}
+
+// ParseSize parses a human-friendly byte size: a plain integer or one
+// with a K/M/G/T suffix (binary multiples, case-insensitive, optional
+// trailing B as in "64MB").
+func ParseSize(s string) (int64, error) {
+	t := strings.TrimSuffix(strings.ToUpper(strings.TrimSpace(s)), "B")
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(t, "K"):
+		mult, t = 1<<10, t[:len(t)-1]
+	case strings.HasSuffix(t, "M"):
+		mult, t = 1<<20, t[:len(t)-1]
+	case strings.HasSuffix(t, "G"):
+		mult, t = 1<<30, t[:len(t)-1]
+	case strings.HasSuffix(t, "T"):
+		mult, t = 1<<40, t[:len(t)-1]
+	}
+	n, err := strconv.ParseInt(t, 10, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("invalid size %q", s)
+	}
+	if n > (1<<62)/mult {
+		return 0, fmt.Errorf("size %q overflows", s)
+	}
+	return n * mult, nil
 }
 
 // ProfileFlags is the shared pprof flag set: -cpuprofile and

@@ -28,6 +28,7 @@ import (
 	"sync"
 	"time"
 
+	"memorex/internal/btcache"
 	"memorex/internal/connect"
 	"memorex/internal/mem"
 	"memorex/internal/obs"
@@ -132,9 +133,12 @@ type Stats struct {
 	FullAccesses    int64
 	// BehaviorCaptures counts Phase A module-behavior runs;
 	// BehaviorCacheHits counts evaluations (or batch dispatches) whose
-	// replay reused an already-captured event trace.
+	// replay reused an already-captured event trace; BehaviorDiskHits
+	// counts captures avoided by loading the persistent behavior-trace
+	// cache instead.
 	BehaviorCaptures  int64
 	BehaviorCacheHits int64
+	BehaviorDiskHits  int64
 	// BatchReplays counts ReplayBatch dispatches and BatchedEvals the
 	// evaluations they served; BatchDedupHits counts evaluations that
 	// shared a timing-identical group-mate's replay instead of running
@@ -156,9 +160,12 @@ func (s Stats) String() string {
 	out := fmt.Sprintf("engine: %d evaluations, %d simulations (%d sampled + %d full), %d cache hits; %d sampled + %d full accesses",
 		s.Requests, s.Simulations, s.SampledSimulations, s.FullSimulations,
 		s.CacheHits, s.SampledAccesses, s.FullAccesses)
-	if s.BehaviorCaptures > 0 || s.BehaviorCacheHits > 0 {
+	if s.BehaviorCaptures > 0 || s.BehaviorCacheHits > 0 || s.BehaviorDiskHits > 0 {
 		out += fmt.Sprintf("; %d behavior captures, %d behavior reuses",
 			s.BehaviorCaptures, s.BehaviorCacheHits)
+		if s.BehaviorDiskHits > 0 {
+			out += fmt.Sprintf(", %d disk hits", s.BehaviorDiskHits)
+		}
 	}
 	if s.BatchReplays > 0 || s.BatchDedupHits > 0 || s.BatchSpills > 0 {
 		out += fmt.Sprintf("; %d batch replays covering %d evals, %d dedup shares, %d spills",
@@ -207,6 +214,11 @@ type Engine struct {
 	metrics *obs.Registry
 	m       instruments
 
+	// disk is the optional persistent behavior-trace cache, consulted
+	// between the in-memory memo and a Phase A capture. Nil-safe: a nil
+	// cache is always a miss and swallows Puts.
+	disk *btcache.Cache
+
 	mu       sync.Mutex
 	cache    map[uint64]*entry
 	behavior map[uint64]*behaviorEntry
@@ -223,6 +235,7 @@ type instruments struct {
 	evals, sims, hits   *obs.Counter
 	sampledAcc, fullAcc *obs.Counter
 	captures, capReuse  *obs.Counter
+	diskHits            *obs.Counter
 	schedIssues         *obs.Counter
 	schedConflicts      *obs.Counter
 	samplingWindows     *obs.Counter
@@ -254,6 +267,16 @@ func WithMetrics(r *obs.Registry) Option {
 	return func(e *Engine) { e.metrics = r }
 }
 
+// WithBehaviorCache attaches a persistent behavior-trace cache. Before
+// running a Phase A capture the engine consults the cache under the
+// request's behavior fingerprint, and after a capture it persists the
+// result, so later processes (or engines sharing the directory) warm-
+// start without simulating the memory modules at all. A nil cache is
+// the explicit "off" value.
+func WithBehaviorCache(c *btcache.Cache) Option {
+	return func(e *Engine) { e.disk = c }
+}
+
 // New returns an engine bounded to the given worker count
 // (0 or negative = DefaultWorkers).
 func New(workers int, opts ...Option) *Engine {
@@ -280,6 +303,7 @@ func New(workers int, opts ...Option) *Engine {
 			fullAcc:         e.metrics.Counter("engine/full_accesses"),
 			captures:        e.metrics.Counter("engine/behavior_captures"),
 			capReuse:        e.metrics.Counter("engine/behavior_reuses"),
+			diskHits:        e.metrics.Counter("engine/behavior_disk_hits"),
 			schedIssues:     e.metrics.Counter("rtable/issues"),
 			schedConflicts:  e.metrics.Counter("rtable/conflicts"),
 			samplingWindows: e.metrics.Counter("sampling/windows"),
@@ -561,6 +585,20 @@ func (e *Engine) behaviorTrace(ctx context.Context, r Request) (*sim.BehaviorTra
 	e.behavior[key] = ent
 	e.mu.Unlock()
 
+	// Second layer: the persistent cache. A validated disk entry stands
+	// in for the capture; any validation failure inside Get is a plain
+	// miss (the damaged file is quarantined by the cache) and we fall
+	// through to capturing.
+	if bt, ok := e.disk.Get(key); ok {
+		ent.bt = bt
+		e.mu.Lock()
+		e.stats.BehaviorDiskHits++
+		e.mu.Unlock()
+		e.m.diskHits.Inc()
+		close(ent.done)
+		return ent.bt, nil
+	}
+
 	ent.bt, ent.err = e.captureBehavior(r)
 	if ent.err != nil {
 		e.mu.Lock()
@@ -571,6 +609,9 @@ func (e *Engine) behaviorTrace(ctx context.Context, r Request) (*sim.BehaviorTra
 		e.stats.BehaviorCaptures++
 		e.mu.Unlock()
 		e.m.captures.Inc()
+		// Best-effort persist: a failed write only costs a future
+		// recapture and is counted by the cache's put_errors.
+		e.disk.Put(key, ent.bt)
 	}
 	close(ent.done)
 	return ent.bt, ent.err

@@ -8,6 +8,7 @@ import (
 
 	"memorex/internal/connect"
 	"memorex/internal/mem"
+	"memorex/internal/sampling"
 	"memorex/internal/trace"
 )
 
@@ -40,20 +41,36 @@ func (e *Engine) key(r Request) uint64 {
 // capture: like key, but without the connectivity architecture — that
 // independence is the whole point of the two-phase split.
 func (e *Engine) behaviorKey(r Request) uint64 {
+	return combineBehavior(e.traceFingerprint(r.Trace), e.memFingerprint(r.Mem), r.Mode, r.Sampling)
+}
+
+// BehaviorFingerprint computes the content-based digest of a Phase A
+// behavior capture — the same value the engine keys its in-memory memo
+// and the on-disk behavior-trace cache by. It hashes the full access
+// stream, the structural memory architecture, the evaluation mode and
+// (in Sampled mode) the sampling plan parameters, so the fingerprint
+// is stable across processes and machine restarts. Exported for tools
+// (e.g. cmd/simulate) that address the btcache directly without an
+// Engine.
+func BehaviorFingerprint(t *trace.Trace, a *mem.Architecture, mode Mode, s sampling.Config) uint64 {
+	return combineBehavior(hashTrace(t), hashMem(a), mode, s)
+}
+
+// combineBehavior folds the component digests into the behavior key.
+func combineBehavior(traceFP, memFP uint64, mode Mode, s sampling.Config) uint64 {
 	h := fnv.New64a()
-	writeU64(h, e.traceFingerprint(r.Trace))
-	writeU64(h, e.memFingerprint(r.Mem))
-	writeU64(h, uint64(r.Mode))
-	if r.Mode == Sampled {
-		writeU64(h, uint64(r.Sampling.OnWindow))
-		writeU64(h, uint64(r.Sampling.OffRatio))
+	writeU64(h, traceFP)
+	writeU64(h, memFP)
+	writeU64(h, uint64(mode))
+	if mode == Sampled {
+		writeU64(h, uint64(s.OnWindow))
+		writeU64(h, uint64(s.OffRatio))
 	}
 	return h.Sum64()
 }
 
-// traceFingerprint hashes the full access stream and data-structure
-// registry of a trace, memoized per trace object (traces are immutable
-// once built).
+// traceFingerprint hashes a trace via hashTrace, memoized per trace
+// object (traces are immutable once built).
 func (e *Engine) traceFingerprint(t *trace.Trace) uint64 {
 	e.mu.Lock()
 	if fp, ok := e.traceFP[t]; ok {
@@ -62,6 +79,17 @@ func (e *Engine) traceFingerprint(t *trace.Trace) uint64 {
 	}
 	e.mu.Unlock()
 
+	fp := hashTrace(t)
+
+	e.mu.Lock()
+	e.traceFP[t] = fp
+	e.mu.Unlock()
+	return fp
+}
+
+// hashTrace digests the full access stream and data-structure registry
+// of a trace.
+func hashTrace(t *trace.Trace) uint64 {
 	h := fnv.New64a()
 	io.WriteString(h, t.Name)
 	writeU64(h, uint64(len(t.Accesses)))
@@ -88,16 +116,11 @@ func (e *Engine) traceFingerprint(t *trace.Trace) uint64 {
 		n += 8
 	}
 	h.Write(buf[:n])
-	fp := h.Sum64()
-
-	e.mu.Lock()
-	e.traceFP[t] = fp
-	e.mu.Unlock()
-	return fp
+	return h.Sum64()
 }
 
-// memFingerprint hashes a memory-modules architecture structurally,
-// memoized per architecture object.
+// memFingerprint hashes an architecture via hashMem, memoized per
+// architecture object.
 func (e *Engine) memFingerprint(a *mem.Architecture) uint64 {
 	e.mu.Lock()
 	if fp, ok := e.memFP[a]; ok {
@@ -106,6 +129,18 @@ func (e *Engine) memFingerprint(a *mem.Architecture) uint64 {
 	}
 	e.mu.Unlock()
 
+	fp := hashMem(a)
+
+	e.mu.Lock()
+	e.memFP[a] = fp
+	e.mu.Unlock()
+	return fp
+}
+
+// hashMem digests a memory-modules architecture structurally: two
+// architectures built independently but describing the same design
+// hash identically.
+func hashMem(a *mem.Architecture) uint64 {
 	h := fnv.New64a()
 	writeU64(h, uint64(len(a.Modules)))
 	for _, m := range a.Modules {
@@ -132,12 +167,7 @@ func (e *Engine) memFingerprint(a *mem.Architecture) uint64 {
 		writeU64(h, uint64(ds))
 		writeU64(h, uint64(int64(a.Route[trace.DSID(ds)])))
 	}
-	fp := h.Sum64()
-
-	e.mu.Lock()
-	e.memFP[a] = fp
-	e.mu.Unlock()
-	return fp
+	return h.Sum64()
 }
 
 // writeModule hashes one memory module. Module names encode the library
