@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-compare cache-check check
+.PHONY: build test race vet bench bench-compare cache-check daemon-check serve-smoke check
 
 build:
 	$(GO) build ./...
@@ -41,9 +41,24 @@ cache-check:
 	$(GO) test -race -run 'TestDisk|TestBehaviorFingerprint' ./internal/engine/
 	$(GO) test -race -run 'TestExplorerWarmStart' .
 
+# daemon-check runs the service-layer suite under the race detector:
+# the memorexd end-to-end tests (dedup, admission control, cancel,
+# drain, per-job event routing), the event-router unit tests, and the
+# ExploreRequest / Explorer.Do / Close contract tests.
+daemon-check:
+	$(GO) test -race ./cmd/memorexd/
+	$(GO) test -race -run 'TestRouter|TestObserver' ./internal/obs/
+	$(GO) test -race -run 'TestExploreRequest|TestExplorerDoRequest|TestExplorerCloseIdempotent' .
+
+# serve-smoke boots a real memorexd process, submits a tiny job through
+# memorexctl, asserts a completed report comes back, and checks the
+# daemon drains cleanly on SIGTERM.
+serve-smoke:
+	sh scripts/serve-smoke.sh
+
 # check is the gate a change must pass before review: formatting is
 # clean, vet finds nothing, the whole suite passes under the race
-# detector, and the trace-cache fault/warm-start suite holds.
-check: vet cache-check
+# detector, and the trace-cache and daemon suites hold.
+check: vet cache-check daemon-check
 	@fmt=$$(gofmt -l .); if [ -n "$$fmt" ]; then echo "gofmt needed:"; echo "$$fmt"; exit 1; fi
 	$(GO) test -race ./...

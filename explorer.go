@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"memorex/internal/apex"
@@ -99,6 +100,9 @@ type Explorer struct {
 	obs     *obs.Observer
 	reg     *obs.Registry
 	cache   *btcache.Cache // nil without WithTraceCache
+
+	closeOnce sync.Once
+	closeErr  error
 }
 
 // explorerConfig accumulates the functional options before
@@ -330,61 +334,133 @@ func (x *Explorer) TraceCacheStats() (TraceCacheStats, bool) {
 func (x *Explorer) MetricsSnapshot() MetricsSnapshot { return x.reg.Snapshot() }
 
 // Close flushes and closes the observer's sinks. Runs after Close lose
-// their events but are otherwise unaffected.
-func (x *Explorer) Close() error { return x.obs.Close() }
+// their events but are otherwise unaffected. Close is idempotent and
+// safe for concurrent use — a draining service may call it from a
+// signal handler while submitted runs are still finishing; every call
+// returns the first call's result.
+func (x *Explorer) Close() error {
+	x.closeOnce.Do(func() { x.closeErr = x.obs.Close() })
+	return x.closeErr
+}
 
 // Explore runs the full pipeline on the named benchmark. The context
-// cancels the exploration between design-point evaluations.
+// cancels the exploration between design-point evaluations. It is
+// shorthand for Do with a benchmark-only request.
 func (x *Explorer) Explore(ctx context.Context, benchmark string) (*Report, error) {
-	t, err := GenerateTrace(benchmark, x.wl)
-	if err != nil {
-		return nil, err
-	}
-	return x.exploreTrace(ctx, benchmark, t)
+	return x.Do(ctx, ExploreRequest{Benchmark: benchmark})
 }
 
 // ExploreTrace runs profiling, APEX and ConEx on an existing trace
-// (the trace's own Name labels the run in events and reports).
+// (the trace's own Name labels the run in events and reports). It is
+// shorthand for Do with a trace-only request.
 func (x *Explorer) ExploreTrace(ctx context.Context, t *Trace) (*Report, error) {
-	return x.exploreTrace(ctx, t.Name, t)
+	return x.Do(ctx, ExploreRequest{Trace: t})
 }
 
-func (x *Explorer) exploreTrace(ctx context.Context, benchmark string, t *trace.Trace) (*Report, error) {
+// Do runs one exploration request. It is the single code path behind
+// every public entry point — Explore, ExploreTrace, the legacy free
+// functions and the memorexd job API all build an ExploreRequest and
+// land here.
+//
+// The request is validated, then resolved against the Explorer's own
+// configuration: nil config blocks inherit the Explorer's settings,
+// present blocks override them for this request only. All evaluations
+// go through the Explorer's shared engine, so identical requests —
+// concurrent or sequential, from any submitter — share behavior
+// captures, memoized design points and the persistent trace cache.
+// When the request carries a JobID, the run-level events it emits are
+// stamped with it for per-job routing (see obs.Router).
+func (x *Explorer) Do(ctx context.Context, req ExploreRequest) (*Report, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	wl, apexCfg, conexCfg, err := x.resolve(req)
+	if err != nil {
+		return nil, err
+	}
+
+	t := req.Trace
+	if t == nil {
+		if t, err = GenerateTrace(req.Benchmark, wl); err != nil {
+			return nil, err
+		}
+	}
+	benchmark := benchmarkLabel(req.Benchmark, t)
+
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	if t.NumAccesses() == 0 {
 		return nil, fmt.Errorf("memorex: empty trace")
 	}
+	o := x.obs.ForJob(req.JobID)
 	start := time.Now()
-	x.obs.RunStart(benchmark, int64(t.NumAccesses()))
-	x.obs.TraceGenerated(benchmark, int64(t.NumAccesses()), len(t.DS))
-	rep, err := x.run(ctx, benchmark, t)
-	x.obs.RunEnd(benchmark, time.Since(start), err)
+	o.RunStart(benchmark, int64(t.NumAccesses()))
+	o.TraceGenerated(benchmark, int64(t.NumAccesses()), len(t.DS))
+	rep, err := x.run(ctx, o, benchmark, t, wl, apexCfg, conexCfg)
+	o.RunEnd(benchmark, time.Since(start), err)
 	if err != nil {
 		return nil, err
+	}
+	for _, c := range req.Constraints {
+		rep.Selections = append(rep.Selections, c.apply(rep))
 	}
 	rep.Metrics = x.reg.Snapshot()
 	return rep, nil
 }
 
-func (x *Explorer) run(ctx context.Context, benchmark string, t *trace.Trace) (*Report, error) {
+// resolve merges a validated request over the Explorer's configuration:
+// absent blocks inherit, present blocks are normalized and win.
+func (x *Explorer) resolve(req ExploreRequest) (workload.Config, apex.Config, core.Config, error) {
+	wl, apexCfg, conexCfg := x.wl, x.apexCfg, x.conex
+	var err error
+	if req.Workload != nil {
+		if wl, err = req.Workload.Normalize(); err != nil {
+			return wl, apexCfg, conexCfg, fmt.Errorf("memorex: %w", err)
+		}
+	}
+	if req.APEX != nil {
+		if apexCfg, err = req.APEX.Normalize(); err != nil {
+			return wl, apexCfg, conexCfg, fmt.Errorf("memorex: %w", err)
+		}
+	}
+	if req.Sampling != nil {
+		if conexCfg.Sampling, err = req.Sampling.Normalize(); err != nil {
+			return wl, apexCfg, conexCfg, fmt.Errorf("memorex: %w", err)
+		}
+	}
+	if req.Library != nil {
+		conexCfg.Library = req.Library
+	}
+	if req.KeepPerArch > 0 {
+		conexCfg.KeepPerArch = req.KeepPerArch
+	}
+	if req.MaxAssignPerLevel != nil {
+		conexCfg.MaxAssignPerLevel = *req.MaxAssignPerLevel
+	}
+	if req.Exact {
+		conexCfg.Exact = true
+	}
+	return wl, apexCfg, conexCfg, nil
+}
+
+func (x *Explorer) run(ctx context.Context, o *obs.Observer, benchmark string, t *trace.Trace,
+	wl workload.Config, apexCfg apex.Config, conexCfg core.Config) (*Report, error) {
 	prof := profile.Analyze(t)
-	apexRes, err := apex.Explore(t, prof, x.apexCfg)
+	apexRes, err := apex.Explore(t, prof, apexCfg)
 	if err != nil {
 		return nil, fmt.Errorf("memorex: APEX failed: %w", err)
 	}
-	x.obs.APEXSelected(len(apexRes.All), len(apexRes.Selected))
+	o.APEXSelected(len(apexRes.All), len(apexRes.Selected))
 	archs := make([]*mem.Architecture, 0, len(apexRes.Selected))
 	for _, dp := range apexRes.Selected {
 		archs = append(archs, dp.Arch)
 	}
-	conexRes, err := core.Explore(ctx, t, archs, x.conex)
+	conexRes, err := core.Explore(ctx, t, archs, conexCfg)
 	if err != nil {
 		return nil, fmt.Errorf("memorex: ConEx failed: %w", err)
 	}
-	opt := x.Options()
-	opt.Workload = benchmark
+	opt := Options{Workload: benchmark, WorkloadConfig: wl, APEX: apexCfg, ConEx: conexCfg}
 	return &Report{Options: opt, Trace: t, Profile: prof, APEX: apexRes, ConEx: conexRes}, nil
 }
 

@@ -23,30 +23,30 @@ import (
 // Config bounds the memory-modules design space.
 type Config struct {
 	// CacheSizes, CacheAssocs and CacheLines define the cache sweep.
-	CacheSizes  []int
-	CacheAssocs []int
-	CacheLines  []int
+	CacheSizes  []int `json:"cache_sizes,omitempty"`
+	CacheAssocs []int `json:"cache_assocs,omitempty"`
+	CacheLines  []int `json:"cache_lines,omitempty"`
 	// MaxCustom is the number of hottest data structures considered for
 	// custom modules (the power set of their candidates is explored).
-	MaxCustom int
+	MaxCustom int `json:"max_custom,omitempty"`
 	// SRAMLimit is the largest data structure (bytes) that may be
 	// mapped to a scratchpad.
-	SRAMLimit int
+	SRAMLimit int `json:"sram_limit,omitempty"`
 	// MaxSelected caps the architectures handed to the connectivity
 	// exploration (the paper selects 5 for compress).
-	MaxSelected int
+	MaxSelected int `json:"max_selected,omitempty"`
 	// VictimLines, when positive, additionally sweeps victim-buffer
 	// variants of every cache configuration (an extension module of the
 	// library; see mem.VictimCache).
-	VictimLines int
+	VictimLines int `json:"victim_lines,omitempty"`
 	// SweepWriteThrough additionally sweeps write-through variants of
 	// every cache configuration (cheaper control, more off-chip store
 	// traffic).
-	SweepWriteThrough bool
+	SweepWriteThrough bool `json:"sweep_write_through,omitempty"`
 	// L2Sizes, when non-empty, additionally sweeps variants of every
 	// architecture with a shared L2 of each given size (4-way, 32-byte
 	// lines) shielding the off-chip channel.
-	L2Sizes []int
+	L2Sizes []int `json:"l2_sizes,omitempty"`
 }
 
 // DefaultConfig returns the sweep used by the paper-reproduction

@@ -23,6 +23,7 @@ import (
 
 	"memorex/internal/btcache"
 	"memorex/internal/connect"
+	"memorex/internal/jobapi"
 	"memorex/internal/obs"
 	"memorex/internal/trace"
 	"memorex/internal/workload"
@@ -242,11 +243,13 @@ func (o *ObsFlags) Register(fs *flag.FlagSet) {
 	fs.StringVar(&o.DebugAddr, "debug-addr", "", "serve expvar metrics and pprof on this HTTP address (e.g. localhost:6060)")
 }
 
-// Observer builds the observer the flags request and returns it with
-// its cleanup function (always non-nil; defer it from main). With no
-// event flags set the observer is nil — the disabled observer.
-func (o *ObsFlags) Observer() (*obs.Observer, func() error, error) {
-	var sinks []obs.Sink
+// Observer builds the observer the flags request (plus any extra
+// sinks the command supplies, e.g. a job-event router) and returns it
+// with its cleanup function (always non-nil; defer it from main).
+// With no event flags set and no extra sinks the observer is nil —
+// the disabled observer.
+func (o *ObsFlags) Observer(extra ...obs.Sink) (*obs.Observer, func() error, error) {
+	sinks := append([]obs.Sink(nil), extra...)
 	var files []*os.File
 	if o.EventsPath == "-" {
 		sinks = append(sinks, obs.NewJSONL(os.Stderr))
@@ -299,6 +302,25 @@ func (o *ObsFlags) ServeDebug(metrics func() obs.Snapshot) {
 		}
 	}()
 	log.Printf("serving expvar and pprof on http://%s/debug/pprof/ (metrics at /metrics)", o.DebugAddr)
+}
+
+// ServerFlags is the shared memorexd-client flag set: -server selects
+// the daemon base URL and -tenant the quota bucket submissions are
+// accounted to.
+type ServerFlags struct {
+	Server string
+	Tenant string
+}
+
+// Register installs -server/-tenant on fs.
+func (s *ServerFlags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&s.Server, "server", "http://localhost:8344", "memorexd base URL")
+	fs.StringVar(&s.Tenant, "tenant", "", "tenant name sent with every request (empty = the daemon default)")
+}
+
+// Client returns a job-API client over the flags.
+func (s *ServerFlags) Client() *jobapi.Client {
+	return &jobapi.Client{Base: s.Server, Tenant: s.Tenant}
 }
 
 // LoadLibrary reads a JSON connectivity IP library, or returns the

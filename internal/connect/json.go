@@ -33,6 +33,56 @@ var classNames = map[string]Class{
 	"offchip":   OffChip,
 }
 
+// className reverses classNames.
+func className(cl Class) (string, bool) {
+	for n, c := range classNames {
+		if c == cl {
+			return n, true
+		}
+	}
+	return "", false
+}
+
+// MarshalJSON serializes a component in the library wire format (class
+// encoded by name), so component lists embedded in other JSON bodies —
+// exploration requests, saved libraries — share one stable encoding.
+func (c Component) MarshalJSON() ([]byte, error) {
+	name, ok := className(c.Class)
+	if !ok {
+		return nil, fmt.Errorf("connect: component %q has unknown class %d", c.Name, c.Class)
+	}
+	return json.Marshal(componentJSON{
+		Name: c.Name, Class: name, WidthBytes: c.WidthBytes,
+		ArbCycles: c.ArbCycles, BeatCycles: c.BeatCycles,
+		Pipelined: c.Pipelined, Split: c.Split, MaxPorts: c.MaxPorts,
+		OnChip: c.OnChip, EnergyPerByte: c.EnergyPerByte,
+		BaseGates: c.BaseGates, GatesPerPort: c.GatesPerPort,
+		WireGatesPerPort: c.WireGatesPerPort,
+	})
+}
+
+// UnmarshalJSON parses the library wire format. It validates only the
+// class name; structural validation is the caller's job (ValidateLibrary).
+func (c *Component) UnmarshalJSON(data []byte) error {
+	var in componentJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	class, ok := classNames[in.Class]
+	if !ok {
+		return fmt.Errorf("connect: component %q: unknown class %q", in.Name, in.Class)
+	}
+	*c = Component{
+		Name: in.Name, Class: class, WidthBytes: in.WidthBytes,
+		ArbCycles: in.ArbCycles, BeatCycles: in.BeatCycles,
+		Pipelined: in.Pipelined, Split: in.Split, MaxPorts: in.MaxPorts,
+		OnChip: in.OnChip, EnergyPerByte: in.EnergyPerByte,
+		BaseGates: in.BaseGates, GatesPerPort: in.GatesPerPort,
+		WireGatesPerPort: in.WireGatesPerPort,
+	}
+	return nil
+}
+
 // ValidateComponent checks that a library entry is physically plausible.
 func ValidateComponent(c *Component) error {
 	switch {

@@ -1,0 +1,105 @@
+// Package jobapi defines the wire format of the memorexd job API —
+// the paths, request/response bodies and job lifecycle states shared
+// by the daemon (cmd/memorexd), the client CLI (cmd/memorexctl) and
+// the end-to-end tests — plus a small HTTP client over it.
+//
+// The API is job-oriented: a POST of a memorex.ExploreRequest JSON
+// body creates a job, and the job id addresses its status, its report
+// and its event stream afterwards.
+//
+//	POST   /v1/jobs             submit an ExploreRequest -> 202 + Job
+//	GET    /v1/jobs             list jobs (newest first)
+//	GET    /v1/jobs/{id}        status; Report attached once done
+//	GET    /v1/jobs/{id}/events stream the job's events as JSONL
+//	DELETE /v1/jobs/{id}        cancel (queued or running)
+//	GET    /healthz             liveness + admission counters
+//
+// Admission failures are JSON Error bodies: 429 with a Retry-After
+// header when the queue or the tenant's quota is full, 503 while the
+// daemon drains.
+package jobapi
+
+import (
+	"encoding/json"
+	"time"
+)
+
+// API paths.
+const (
+	PathJobs   = "/v1/jobs"
+	PathHealth = "/healthz"
+)
+
+// TenantHeader names the submitting tenant; requests without it are
+// accounted to DefaultTenant.
+const TenantHeader = "X-Memorex-Tenant"
+
+// DefaultTenant is the quota bucket of unlabelled submissions.
+const DefaultTenant = "default"
+
+// State is a job lifecycle state.
+type State string
+
+// Job lifecycle: queued -> running -> done | failed | cancelled.
+// Cancellation can also hit a job while it is still queued.
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Job is the status representation of one exploration job.
+type Job struct {
+	// ID is the daemon-assigned job identifier.
+	ID string `json:"id"`
+	// Tenant is the quota bucket the job was accounted to.
+	Tenant string `json:"tenant"`
+	// State is the current lifecycle state.
+	State State `json:"state"`
+	// Created/Started/Finished are the lifecycle timestamps; Started
+	// and Finished are zero until the job reaches the matching state.
+	Created  time.Time  `json:"created"`
+	Started  *time.Time `json:"started,omitempty"`
+	Finished *time.Time `json:"finished,omitempty"`
+	// Error describes the failure of a failed (or cancelled) job.
+	Error string `json:"error,omitempty"`
+	// Report is the memorex report JSON (memorex.ReportJSON) of a done
+	// job; absent otherwise.
+	Report json.RawMessage `json:"report,omitempty"`
+	// EventsDropped counts per-job events the daemon had to drop
+	// because the job's event buffer overflowed.
+	EventsDropped int64 `json:"events_dropped,omitempty"`
+}
+
+// JobList is the GET /v1/jobs response.
+type JobList struct {
+	Jobs []Job `json:"jobs"`
+}
+
+// Health is the GET /healthz response.
+type Health struct {
+	// Status is "ok", or "draining" after the shutdown signal.
+	Status string `json:"status"`
+	// Queued/Running/Done/Failed/Cancelled count the daemon's jobs by
+	// state since boot.
+	Queued    int `json:"queued"`
+	Running   int `json:"running"`
+	Done      int `json:"done"`
+	Failed    int `json:"failed"`
+	Cancelled int `json:"cancelled"`
+	// QueueCap and TenantQuota echo the admission configuration.
+	QueueCap    int `json:"queue_cap"`
+	TenantQuota int `json:"tenant_quota"`
+}
+
+// Error is the JSON body of every non-2xx response.
+type Error struct {
+	Error string `json:"error"`
+}

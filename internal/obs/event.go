@@ -61,6 +61,12 @@ type Event struct {
 	Time time.Time `json:"time"`
 	// Kind discriminates the event type.
 	Kind Kind `json:"kind"`
+	// Job identifies the exploration job the event belongs to, for
+	// multi-job services that route one shared stream per submitter
+	// (see Observer.ForJob and Router). Empty for unscoped events —
+	// shared-engine work that may be serving any number of jobs at
+	// once under single-flight deduplication.
+	Job string `json:"job,omitempty"`
 
 	// Benchmark names the workload (run, trace events).
 	Benchmark string `json:"benchmark,omitempty"`

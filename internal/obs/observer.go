@@ -16,10 +16,25 @@ import (
 //
 // Emission is serialized under one mutex, so sinks need no locking of
 // their own and see events in strictly increasing Seq order.
+//
+// An observer can be scoped to a job with ForJob: the derived observer
+// shares the parent's sinks and sequence counter (one dense stream) but
+// stamps Event.Job on everything it emits, so a Router sink can fan the
+// shared stream back out per job.
 type Observer struct {
-	seq   atomic.Uint64
-	mu    sync.Mutex
-	sinks []Sink
+	s   *fanout
+	job string
+}
+
+// fanout is the state shared by an observer and all its ForJob
+// derivatives: the sequence counter, the sink list and the emission
+// lock.
+type fanout struct {
+	seq    atomic.Uint64
+	mu     sync.Mutex
+	sinks  []Sink
+	closed bool
+	err    error
 }
 
 // NewObserver returns an observer fanning out to the given sinks. With
@@ -35,27 +50,55 @@ func NewObserver(sinks ...Sink) *Observer {
 	if len(live) == 0 {
 		return nil
 	}
-	return &Observer{sinks: live}
+	return &Observer{s: &fanout{sinks: live}}
+}
+
+// ForJob returns an observer that stamps every emitted event with the
+// given job identifier while sharing this observer's sinks, emission
+// lock and (dense) sequence counter. A service multiplexing many jobs
+// onto one engine gives each run a scoped observer so a Router can
+// route run-level events to the right subscriber. ForJob on the nil
+// observer, or with an empty job, returns the receiver unchanged.
+func (o *Observer) ForJob(job string) *Observer {
+	if o == nil || job == "" {
+		return o
+	}
+	return &Observer{s: o.s, job: job}
+}
+
+// Job returns the job identifier this observer stamps (empty for an
+// unscoped observer).
+func (o *Observer) Job() string {
+	if o == nil {
+		return ""
+	}
+	return o.job
 }
 
 // Enabled reports whether events are being consumed. Hot paths guard
 // any label formatting or other allocation behind it.
 func (o *Observer) Enabled() bool { return o != nil }
 
-// Close closes every sink, returning the first error.
+// Close closes every sink, returning the first error. Close is
+// idempotent — concurrent and repeated calls are safe and return the
+// first call's result — so a draining service can close from a signal
+// handler while runs finish. Events emitted after Close are dropped.
 func (o *Observer) Close() error {
 	if o == nil {
 		return nil
 	}
-	o.mu.Lock()
-	defer o.mu.Unlock()
-	var first error
-	for _, s := range o.sinks {
-		if err := s.Close(); err != nil && first == nil {
-			first = err
+	o.s.mu.Lock()
+	defer o.s.mu.Unlock()
+	if o.s.closed {
+		return o.s.err
+	}
+	o.s.closed = true
+	for _, s := range o.s.sinks {
+		if err := s.Close(); err != nil && o.s.err == nil {
+			o.s.err = err
 		}
 	}
-	return first
+	return o.s.err
 }
 
 // emit stamps and fans out one event.
@@ -63,13 +106,16 @@ func (o *Observer) emit(ev *Event) {
 	if o == nil {
 		return
 	}
-	ev.Seq = o.seq.Add(1)
+	ev.Job = o.job
+	ev.Seq = o.s.seq.Add(1)
 	ev.Time = time.Now()
-	o.mu.Lock()
-	for _, s := range o.sinks {
-		s.Emit(ev)
+	o.s.mu.Lock()
+	if !o.s.closed {
+		for _, s := range o.s.sinks {
+			s.Emit(ev)
+		}
 	}
-	o.mu.Unlock()
+	o.s.mu.Unlock()
 }
 
 // RunStart reports the beginning of an exploration run.

@@ -20,10 +20,10 @@ import (
 // Config parameterizes the sampler.
 type Config struct {
 	// OnWindow is the number of accesses fully simulated per period.
-	OnWindow int
+	OnWindow int `json:"on_window,omitempty"`
 	// OffRatio is the ratio of skipped to simulated accesses; the paper
 	// uses 9 (1 on : 9 off).
-	OffRatio int
+	OffRatio int `json:"off_ratio,omitempty"`
 }
 
 // DefaultConfig returns the paper's 1:9 sampling with a 2000-access

@@ -29,9 +29,9 @@ type Config struct {
 	// Scale multiplies the amount of work (input bytes, interpreted
 	// expressions, speech frames). Scale 1 produces traces in the
 	// hundreds of thousands of accesses.
-	Scale int
+	Scale int `json:"scale,omitempty"`
 	// Seed makes the synthetic inputs reproducible.
-	Seed int64
+	Seed int64 `json:"seed,omitempty"`
 }
 
 // DefaultConfig returns the configuration used by the paper-reproduction

@@ -114,6 +114,9 @@ type Report struct {
 	Profile *profile.Profile
 	APEX    *apex.Result
 	ConEx   *core.Result
+	// Selections holds the constrained-selection outcomes of the
+	// request's Constraints, in request order (see ExploreRequest).
+	Selections []Selection
 	// Metrics is the exploration metrics snapshot taken when the run
 	// finished (cumulative over the Explorer's lifetime when runs share
 	// an Explorer). Empty for runs without a metrics registry.
@@ -122,9 +125,12 @@ type Report struct {
 
 // Explore runs the full pipeline: trace generation, profiling, APEX and
 // ConEx. The context cancels the exploration between design-point
-// evaluations. It is a convenience wrapper over Explorer for one-shot
-// runs; build an Explorer directly to share the evaluation engine,
-// stream events or collect metrics across runs.
+// evaluations.
+//
+// Deprecated: Explore is a thin wrapper that builds a one-shot
+// Explorer and calls Explorer.Do. Build an Explorer directly to share
+// the evaluation engine, stream events or collect metrics across runs,
+// and call Do with an ExploreRequest for per-run configuration.
 func Explore(ctx context.Context, opt Options) (*Report, error) {
 	ex, err := NewExplorer(
 		WithWorkloadConfig(opt.WorkloadConfig),
@@ -153,8 +159,10 @@ func GenerateTrace(benchmark string, cfg workload.Config) (*trace.Trace, error) 
 	return w.Generate(cfg), nil
 }
 
-// ExploreTrace runs profiling, APEX and ConEx on an existing trace. It
-// is a convenience wrapper over Explorer; see Explore.
+// ExploreTrace runs profiling, APEX and ConEx on an existing trace.
+//
+// Deprecated: ExploreTrace is a thin wrapper over Explorer.Do; see
+// Explore.
 func ExploreTrace(ctx context.Context, t *trace.Trace, opt Options) (*Report, error) {
 	ex, err := NewExplorer(
 		WithWorkloadConfig(opt.WorkloadConfig),
@@ -164,7 +172,7 @@ func ExploreTrace(ctx context.Context, t *trace.Trace, opt Options) (*Report, er
 	if err != nil {
 		return nil, err
 	}
-	rep, err := ex.exploreTrace(ctx, benchmarkLabel(opt.Workload, t), t)
+	rep, err := ex.Do(ctx, ExploreRequest{Trace: t, Benchmark: opt.Workload})
 	if err != nil {
 		return nil, err
 	}

@@ -38,13 +38,29 @@ type PhaseWallJSON struct {
 	Sims   int64  `json:"simulations"`
 }
 
+// SelectionJSON is the serialized form of one constrained selection.
+type SelectionJSON struct {
+	Scenario string           `json:"scenario"`
+	Limit    float64          `json:"limit"`
+	Points   []SelectionPoint `json:"points"`
+}
+
+// SelectionPoint is one design of a constrained selection.
+type SelectionPoint struct {
+	Label      string  `json:"label"`
+	CostGates  float64 `json:"cost_gates"`
+	LatencyCyc float64 `json:"latency_cycles_per_access"`
+	EnergyNJ   float64 `json:"energy_nj_per_access"`
+}
+
 // ReportJSON is the serialized form of an exploration report.
 type ReportJSON struct {
-	Benchmark string           `json:"benchmark"`
-	Accesses  int              `json:"trace_accesses"`
-	Engine    *EngineJSON      `json:"engine,omitempty"`
-	Metrics   *MetricsSnapshot `json:"metrics,omitempty"`
-	Designs   []DesignJSON     `json:"designs"`
+	Benchmark  string           `json:"benchmark"`
+	Accesses   int              `json:"trace_accesses"`
+	Engine     *EngineJSON      `json:"engine,omitempty"`
+	Metrics    *MetricsSnapshot `json:"metrics,omitempty"`
+	Designs    []DesignJSON     `json:"designs"`
+	Selections []SelectionJSON  `json:"selections,omitempty"`
 }
 
 // WriteJSON serializes the fully simulated design points of the report
@@ -96,6 +112,15 @@ func (r *Report) WriteJSON(w io.Writer) error {
 			EnergyNJ:     dp.Energy,
 			OnFront:      onFront[dp],
 		})
+	}
+	for _, sel := range r.Selections {
+		sj := SelectionJSON{Scenario: sel.Scenario, Limit: sel.Limit, Points: []SelectionPoint{}}
+		for _, p := range sel.Points {
+			sj.Points = append(sj.Points, SelectionPoint{
+				Label: p.Label, CostGates: p.Cost, LatencyCyc: p.Latency, EnergyNJ: p.Energy,
+			})
+		}
+		out.Selections = append(out.Selections, sj)
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

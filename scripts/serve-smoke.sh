@@ -1,0 +1,79 @@
+#!/bin/sh
+# serve-smoke boots memorexd on an ephemeral port, submits one tiny
+# exploration job through memorexctl, asserts the daemon hands back a
+# completed report with designs and the requested selection, then
+# drains the daemon with SIGTERM and checks it exits 0.
+set -eu
+
+tmp=$(mktemp -d)
+daemon_pid=
+cleanup() {
+	[ -n "$daemon_pid" ] && kill "$daemon_pid" 2>/dev/null || true
+	rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+go build -o "$tmp/memorexd" ./cmd/memorexd
+go build -o "$tmp/memorexctl" ./cmd/memorexctl
+
+"$tmp/memorexd" -addr localhost:0 -max-running 2 2>"$tmp/daemon.log" &
+daemon_pid=$!
+
+# The daemon logs the bound address; wait for it.
+base=
+i=0
+while [ $i -lt 100 ]; do
+	base=$(sed -n 's|.*serving the job API on \(http://[^/]*\).*|\1|p' "$tmp/daemon.log" | head -1)
+	[ -n "$base" ] && break
+	if ! kill -0 "$daemon_pid" 2>/dev/null; then
+		echo "serve-smoke: daemon died at boot:" >&2
+		cat "$tmp/daemon.log" >&2
+		exit 1
+	fi
+	sleep 0.1
+	i=$((i + 1))
+done
+if [ -z "$base" ]; then
+	echo "serve-smoke: daemon never reported its address" >&2
+	cat "$tmp/daemon.log" >&2
+	exit 1
+fi
+
+"$tmp/memorexctl" health -server "$base" >/dev/null
+
+# A deliberately tiny job (the test-suite fast configuration) so the
+# smoke run finishes in seconds.
+cat >"$tmp/req.json" <<'EOF'
+{
+  "benchmark": "vocoder",
+  "apex": {
+    "cache_sizes": [2048, 16384],
+    "cache_assocs": [2],
+    "cache_lines": [32],
+    "max_custom": 1,
+    "sram_limit": 81920,
+    "max_selected": 2
+  },
+  "sampling": {"on_window": 500, "off_ratio": 9},
+  "keep_per_arch": 3,
+  "max_assign_per_level": 12,
+  "constraints": [{"scenario": "cost", "limit": 1000000000}]
+}
+EOF
+
+"$tmp/memorexctl" submit -server "$base" -req "$tmp/req.json" \
+	-wait -poll 100ms -out "$tmp/report.json"
+
+grep -q '"designs"' "$tmp/report.json"
+grep -q '"selections"' "$tmp/report.json"
+
+# SIGTERM must drain gracefully and exit 0.
+kill -TERM "$daemon_pid"
+if ! wait "$daemon_pid"; then
+	echo "serve-smoke: daemon exited non-zero on SIGTERM" >&2
+	cat "$tmp/daemon.log" >&2
+	exit 1
+fi
+daemon_pid=
+
+echo "serve-smoke: ok"
