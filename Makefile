@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-compare cache-check daemon-check serve-smoke check
+.PHONY: build test race vet bench bench-compare cache-check daemon-check delta-check serve-smoke check
 
 build:
 	$(GO) build ./...
@@ -16,19 +16,20 @@ vet:
 
 # bench runs the benchmark suite (3 fixed iterations, matching how
 # the baselines were measured) and writes the parsed domain metrics —
-# including the eval-latency histogram quantiles and the batched-replay
-# counters reported by BenchmarkInstrumentedExploration — plus the
-# speedup over the PR 3 report to BENCH_PR4.json.
+# including the eval-latency histogram quantiles and the batched- and
+# delta-replay counters reported by BenchmarkInstrumentedExploration —
+# plus the speedup over the PR 4 report to BENCH_PR9.json.
 bench:
 	$(GO) test -bench=. -benchmem -benchtime 3x -run '^$$' . | tee bench.out
-	$(GO) run ./cmd/benchjson -baseline BENCH_PR3.json -out BENCH_PR4.json < bench.out
+	$(GO) run ./cmd/benchjson -baseline BENCH_PR4.json -out BENCH_PR9.json < bench.out
 	@rm -f bench.out
 
 # bench-compare diffs two benchjson reports (override OLD/NEW to pick
 # others) and fails when any benchmark's ns/op or B/op regressed by
-# more than 10% — the perf gate for CI.
-OLD ?= BENCH_PR3.json
-NEW ?= BENCH_PR4.json
+# more than 10% — the perf gate for CI. It also tabulates the
+# engine/delta/* counters with the delta-replay hit rate.
+OLD ?= BENCH_PR4.json
+NEW ?= BENCH_PR9.json
 bench-compare:
 	$(GO) run ./cmd/benchjson -compare $(OLD) $(NEW)
 
@@ -50,6 +51,15 @@ daemon-check:
 	$(GO) test -race -run 'TestRouter|TestObserver' ./internal/obs/
 	$(GO) test -race -run 'TestExploreRequest|TestExplorerDoRequest|TestExplorerCloseIdempotent' .
 
+# delta-check runs the incremental delta-replay suite under the race
+# detector: the sim-level signature/exactness/fallback/property tests,
+# the engine delta-tree planner tests, and the end-to-end warm/cold
+# determinism run of the full pipeline.
+delta-check:
+	$(GO) test -race -run 'TestChannelSignatures|TestReplayDelta|TestReplayBatchMatchesReplay' ./internal/sim/
+	$(GO) test -race -run 'TestTimingSignature|TestEvaluateBatch|TestEvaluateDelta' ./internal/engine/
+	$(GO) test -race -run 'TestDeltaWarmColdDeterminism' .
+
 # serve-smoke boots a real memorexd process, submits a tiny job through
 # memorexctl, asserts a completed report comes back, and checks the
 # daemon drains cleanly on SIGTERM.
@@ -58,7 +68,7 @@ serve-smoke:
 
 # check is the gate a change must pass before review: formatting is
 # clean, vet finds nothing, the whole suite passes under the race
-# detector, and the trace-cache and daemon suites hold.
-check: vet cache-check daemon-check
+# detector, and the trace-cache, daemon and delta-replay suites hold.
+check: vet cache-check daemon-check delta-check
 	@fmt=$$(gofmt -l .); if [ -n "$$fmt" ]; then echo "gofmt needed:"; echo "$$fmt"; exit 1; fi
 	$(GO) test -race ./...

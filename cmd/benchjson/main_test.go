@@ -63,6 +63,66 @@ func TestPrintDeltasGate(t *testing.T) {
 	}
 }
 
+// TestPrintDeltasOneSided: benchmarks present in only one report are
+// skipped with a warning naming the side, not silently dropped, and
+// the common benchmarks still gate normally.
+func TestPrintDeltasOneSided(t *testing.T) {
+	old := map[string]Bench{"BenchmarkShared": bench(100, 50, 2), "BenchmarkGone": bench(1, 1, 1)}
+	cur := map[string]Bench{"BenchmarkShared": bench(100, 50, 2), "BenchmarkNew": bench(1, 1, 1)}
+	var sb strings.Builder
+	if !printDeltas(&sb, old, cur) {
+		t.Fatalf("unchanged shared benchmark failed the gate:\n%s", sb.String())
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"skipping BenchmarkGone (only in the old report)",
+		"skipping BenchmarkNew (only in the new report)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output lacks warning %q:\n%s", want, out)
+		}
+	}
+	// Each one-sided benchmark appears exactly once — in its warning —
+	// and never as a delta-table row.
+	if strings.Count(out, "BenchmarkGone") != 1 || strings.Count(out, "BenchmarkNew") != 1 {
+		t.Errorf("one-sided benchmark leaked into the delta table:\n%s", out)
+	}
+}
+
+// TestPrintDeltaMetrics: delta-* engine counters surface in -compare
+// output with a computed hit rate, and are absent when no benchmark
+// reports them.
+func TestPrintDeltaMetrics(t *testing.T) {
+	withDelta := Bench{Iterations: 1, Metrics: map[string]float64{
+		"ns/op": 100, "delta-replays": 30, "delta-fallbacks": 10, "delta-chans-reused": 240,
+	}}
+	old := map[string]Bench{"BenchmarkX": bench(100, 50, 2)}
+	cur := map[string]Bench{"BenchmarkX": withDelta}
+	var sb strings.Builder
+	if !printDeltas(&sb, old, cur) {
+		t.Fatalf("gate failed:\n%s", sb.String())
+	}
+	out := sb.String()
+	for _, want := range []string{"delta-replays", "delta-fallbacks", "delta-chans-reused", "delta hit rate", "75.0%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output lacks %q:\n%s", want, out)
+		}
+	}
+
+	sb.Reset()
+	printDeltas(&sb, old, map[string]Bench{"BenchmarkX": bench(100, 50, 2)})
+	if strings.Contains(sb.String(), "delta metric") {
+		t.Errorf("delta section printed with no delta metrics:\n%s", sb.String())
+	}
+
+	if got := hitRate(map[string]float64{"delta-replays": 0, "delta-fallbacks": 0}); got != "-" {
+		t.Errorf("hitRate with zero activity = %q, want -", got)
+	}
+	if got := metricVal(map[string]float64{}, "delta-replays"); got != "-" {
+		t.Errorf("metricVal for absent unit = %q, want -", got)
+	}
+}
+
 // TestDelta: absent metrics are NaN (ignored by the gate), not zero.
 func TestDelta(t *testing.T) {
 	if d := delta(0, 100); !math.IsNaN(d) {

@@ -10,7 +10,7 @@
 //
 //	memorexd [-addr localhost:8344] [-workers N] [-exact]
 //	         [-queue N] [-max-running N] [-tenant-quota N]
-//	         [-drain-timeout D] [-shared-events]
+//	         [-job-retention D] [-drain-timeout D] [-shared-events]
 //	         [-lib FILE] [-trace-cache DIR] [-trace-cache-limit SIZE]
 //	         [-events FILE] [-progress] [-debug-addr ADDR]
 //
@@ -20,6 +20,11 @@
 // bounded: -queue caps waiting jobs and -tenant-quota caps each
 // tenant's active jobs (both rejecting with 429 + Retry-After), and
 // -max-running bounds concurrently executing jobs.
+//
+// Finished jobs (done, failed or cancelled) stay queryable for
+// -job-retention after completing, then a janitor evicts them; the
+// report JSON the client fetched is the durable artifact. Set
+// -job-retention 0 to keep every job for the daemon's lifetime.
 //
 // SIGINT/SIGTERM drains gracefully: new submissions get 503, queued
 // jobs are cancelled, running jobs finish (bounded by -drain-timeout),
@@ -57,6 +62,7 @@ func run() int {
 	queueCap := flag.Int("queue", 64, "max jobs waiting to run; submissions beyond it get 429")
 	maxRunning := flag.Int("max-running", 2, "max concurrently executing jobs")
 	tenantQuota := flag.Int("tenant-quota", 0, "max active (queued+running) jobs per tenant (0 = unlimited)")
+	jobRetention := flag.Duration("job-retention", time.Hour, "how long finished jobs stay queryable before eviction (0 = forever)")
 	drainTimeout := flag.Duration("drain-timeout", time.Minute, "max time to wait for running jobs on shutdown")
 	sharedEvents := flag.Bool("shared-events", false, "include unscoped shared-engine events in every job's event feed")
 	libPath := flag.String("lib", "", "JSON connectivity IP library to explore with (default: built-in)")
@@ -110,6 +116,7 @@ func run() int {
 		MaxRunning:   *maxRunning,
 		TenantQuota:  *tenantQuota,
 		SharedEvents: *sharedEvents,
+		JobRetention: *jobRetention,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

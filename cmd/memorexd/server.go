@@ -42,6 +42,12 @@ type serverConfig struct {
 	// EventBuffer bounds the per-job event log retained for streaming
 	// (0 = a default).
 	EventBuffer int
+	// JobRetention bounds how long terminal jobs (done, failed,
+	// cancelled) stay queryable after finishing; a janitor evicts
+	// older ones from the job table. 0 disables eviction. The report
+	// JSON the client fetched remains the durable artifact — the job
+	// table is a bounded window, not an archive.
+	JobRetention time.Duration
 	// TestGate, when set, runs before each job's exploration; tests use
 	// it to hold jobs "running" while they probe queue and cancel
 	// behavior. A non-nil error fails the job with it.
@@ -85,7 +91,8 @@ type server struct {
 	draining bool
 	seq      int
 
-	runners sync.WaitGroup
+	runners     sync.WaitGroup
+	janitorStop chan struct{}
 
 	// testGate, when set, is invoked before each job's exploration; it
 	// lets tests hold a job "running" and observe queue behavior. A
@@ -118,7 +125,72 @@ func newServer(cfg serverConfig) *server {
 	for i := 0; i < cfg.MaxRunning; i++ {
 		go s.runner()
 	}
+	if cfg.JobRetention > 0 {
+		s.janitorStop = make(chan struct{})
+		go s.janitor()
+	}
 	return s
+}
+
+// janitor evicts expired terminal jobs on a period derived from the
+// retention window, until drain stops it.
+func (s *server) janitor() {
+	tick := time.NewTicker(janitorInterval(s.cfg.JobRetention))
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.janitorStop:
+			return
+		case now := <-tick.C:
+			if n := s.evictExpired(now); n > 0 {
+				log.Printf("janitor: evicted %d expired jobs (retention %s)", n, s.cfg.JobRetention)
+			}
+		}
+	}
+}
+
+// janitorInterval scales the eviction sweep to the retention window,
+// clamped so short test retentions still sweep promptly and long ones
+// do not wake the daemon needlessly.
+func janitorInterval(retention time.Duration) time.Duration {
+	iv := retention / 4
+	if iv < 10*time.Millisecond {
+		iv = 10 * time.Millisecond
+	}
+	if iv > time.Minute {
+		iv = time.Minute
+	}
+	return iv
+}
+
+// evictExpired removes terminal jobs that finished more than the
+// retention window before now, keeping list, lookup and health
+// consistent. It returns the number evicted.
+func (s *server) evictExpired(now time.Time) int {
+	if s.cfg.JobRetention <= 0 {
+		return 0
+	}
+	cutoff := now.Add(-s.cfg.JobRetention)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	keep := s.order[:0]
+	for _, id := range s.order {
+		jb := s.jobs[id]
+		jb.mu.Lock()
+		state, finished := jb.state, jb.finished
+		jb.mu.Unlock()
+		terminal := state == jobapi.StateDone || state == jobapi.StateFailed || state == jobapi.StateCancelled
+		if terminal && !finished.IsZero() && finished.Before(cutoff) {
+			delete(s.jobs, id)
+			s.byState[state]--
+			n++
+			continue
+		}
+		keep = append(keep, id)
+	}
+	s.order = keep
+	return n
 }
 
 // routes returns the daemon's HTTP handler.
@@ -393,6 +465,9 @@ func (s *server) handleList(w http.ResponseWriter, r *http.Request) {
 		s.mu.Lock()
 		jb := s.jobs[id]
 		s.mu.Unlock()
+		if jb == nil {
+			continue // evicted between the two lock windows
+		}
 		snap := jb.snapshot()
 		snap.Report = nil // list stays light; fetch the job for the report
 		out.Jobs = append(out.Jobs, snap)
@@ -554,6 +629,9 @@ func (s *server) drain(timeout time.Duration) bool {
 			jb.mu.Unlock()
 		}
 		close(s.queue)
+		if s.janitorStop != nil {
+			close(s.janitorStop)
+		}
 	}
 	s.mu.Unlock()
 	if already {

@@ -473,3 +473,106 @@ func TestDaemonValidation(t *testing.T) {
 		}
 	}
 }
+
+// TestDaemonJobRetention exercises the terminal-job janitor: finished
+// jobs older than the retention window are evicted from status, list
+// and the health summary, while queued and running jobs are immune no
+// matter how old, and the janitor sweeps on its own.
+func TestDaemonJobRetention(t *testing.T) {
+	release := make(chan struct{})
+	// A long retention keeps the background janitor out of this test's
+	// way (TestDaemonJobRetentionJanitor covers it); eviction is driven
+	// explicitly through evictExpired with shifted clocks.
+	retention := time.Hour
+	s, c := newTestDaemon(t, serverConfig{
+		MaxRunning: 1, QueueCap: 2, JobRetention: retention, TestGate: gate(release),
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	req := memorex.ExploreRequest{Benchmark: "vocoder"}
+
+	running, err := c.Submit(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, c, running.ID, jobapi.StateRunning)
+	queued, err := c.Submit(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Non-terminal jobs survive an eviction sweep arbitrarily far in
+	// the future; only finished jobs age out.
+	if n := s.evictExpired(time.Now().Add(24 * time.Hour)); n != 0 {
+		t.Fatalf("evictExpired removed %d live jobs, want 0", n)
+	}
+	if _, err := c.Job(ctx, running.ID); err != nil {
+		t.Fatalf("running job evicted: %v", err)
+	}
+	if _, err := c.Job(ctx, queued.ID); err != nil {
+		t.Fatalf("queued job evicted: %v", err)
+	}
+
+	// Finish both: cancel the queued one, open the gate for the
+	// running one (and every later job in this test).
+	if _, err := c.Cancel(ctx, queued.ID); err != nil {
+		t.Fatal(err)
+	}
+	close(release)
+	reportOf(t, waitState(t, c, running.ID, jobapi.StateDone))
+
+	// A sweep dated before the jobs expire keeps them queryable.
+	if n := s.evictExpired(time.Now()); n != 0 {
+		t.Fatalf("early sweep evicted %d jobs, want 0", n)
+	}
+
+	// A sweep past the window evicts both terminal jobs everywhere:
+	// status 404s, the list empties, health forgets the counts.
+	if n := s.evictExpired(time.Now().Add(2 * retention)); n != 2 {
+		t.Fatalf("expired sweep evicted %d jobs, want 2", n)
+	}
+	var se *jobapi.StatusError
+	if _, err := c.Job(ctx, running.ID); !errors.As(err, &se) || se.Code != http.StatusNotFound {
+		t.Errorf("evicted job fetch = %v, want 404", err)
+	}
+	jobs, err := c.Jobs(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 0 {
+		t.Errorf("list holds %d jobs after eviction, want 0", len(jobs))
+	}
+	h, err := c.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Done != 0 || h.Cancelled != 0 || h.Queued != 0 || h.Running != 0 {
+		t.Errorf("health after eviction = %+v, want all zero", h)
+	}
+}
+
+// TestDaemonJobRetentionJanitor: with a short retention, the
+// background janitor evicts a finished job on its own.
+func TestDaemonJobRetentionJanitor(t *testing.T) {
+	_, c := newTestDaemon(t, serverConfig{MaxRunning: 1, JobRetention: 100 * time.Millisecond})
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	done := submitWait(t, c, memorex.ExploreRequest{Benchmark: "vocoder"})
+	reportOf(t, done)
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		_, err := c.Job(ctx, done.ID)
+		var se *jobapi.StatusError
+		if errors.As(err, &se) && se.Code == http.StatusNotFound {
+			return
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("janitor never evicted the finished job")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -7,6 +7,25 @@
 // parameters: followers share the leader's replay result and only
 // recompute their own (closed-form) gate cost.
 //
+// The remaining leaders of each group are then organized into a
+// minimum-spanning delta tree over per-channel timing-signature
+// distance (the number of channels whose timing differs between two
+// candidates). Nodes close to their tree parent — at most half their
+// channels changed — become delta children replayed against the
+// parent's replay residue, re-timing only the changed channels; the
+// rest form the trunk and replay as ReplayBatch chunks that capture
+// residues for their delta children. Delta nodes are dispatched in
+// per-depth waves — every node of one residue generation, across all
+// parents, shares a single sim.ReplayDeltaBatch walk against its own
+// parent's residue — so delta replays keep the batch path's shared
+// event decode even though most parents have only one or two
+// children. Waves wait for their members' parent residues without
+// holding a worker slot, so residue generations cannot deadlock the
+// pool; a member whose parent residue is unavailable (batch fallback,
+// latency overflow) is fully recomputed inside the same walk and
+// still captures a residue for its own subtree. Tree depth is capped
+// so wide groups stay parallel instead of serializing down a chain.
+//
 // Requests that cannot batch — Exact mode, unknown modes, or
 // fingerprint groups below the minBatch threshold — spill to the
 // per-request path; cache hits and single-flight duplicates wait
@@ -30,10 +49,68 @@ import (
 // per-arch Replay path (the shared-decode setup isn't worth paying for
 // one candidate); chunks are balanced across the worker pool and
 // capped at maxBatch so per-batch replay state stays cache-resident.
+// Delta trees are bounded by maxDeltaDepth residue generations (deeper
+// nodes are promoted back to the trunk, keeping wide groups parallel
+// instead of serial; each extra generation is a sequential wave of
+// group walks, and measured wall clock on the paperbench runs worsens
+// past two generations) and delta planning is skipped above
+// maxDeltaPlan leaders, where the O(n²) spanning-tree build would
+// dominate.
 const (
-	minBatch = 2
-	maxBatch = 32
+	minBatch      = 2
+	maxBatch      = 32
+	maxDeltaDepth = 2
+	maxDeltaPlan  = 2048
 )
+
+// Adaptive delta gate: residue capture and splice checks only pay off
+// when enough events actually splice, which depends on how contended
+// the workload keeps the shared channels — something no static plan
+// can see. The engine therefore watches the realized spliced-event
+// share across all delta-served evaluations: once at least
+// deltaProbeMin members have been served, planning pauses while the
+// share is below deltaMinReusePct, and every deltaProbeEvery'th
+// eligible group still plans a delta tree so a friendlier workload
+// (or exploration phase) can lift the share back over the threshold.
+const (
+	deltaProbeMin    = 64
+	deltaMinReusePct = 40
+	deltaProbeEvery  = 8
+)
+
+// deltaWorthwhile is the adaptive gate consulted once per
+// delta-eligible fingerprint group. Planning happens sequentially
+// before any of an Evaluate call's replays dispatch, and all stats
+// from prior Evaluate calls are folded in before they return, so the
+// gate's decisions — and every engine stat — are deterministic across
+// runs and worker counts.
+func (e *Engine) deltaWorthwhile() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.deltaPlanSeq++
+	if e.stats.DeltaReplays+e.stats.DeltaFallbacks < deltaProbeMin {
+		return true
+	}
+	total := e.stats.DeltaSplicedEvents + e.stats.DeltaRecomputedEvents
+	if total == 0 || e.stats.DeltaSplicedEvents*100 >= total*deltaMinReusePct {
+		return true
+	}
+	return e.deltaPlanSeq%deltaProbeEvery == 0
+}
+
+// deltaNode is one group leader in the delta-tree plan. Every node's
+// done channel is closed exactly once — by the chunk goroutine that
+// replayed it (trunk) or by its own delta goroutine — after rsd is
+// populated (nil when no residue could be captured); delta children
+// wait on their parent's done before taking a worker slot.
+type deltaNode struct {
+	idx      int        // request index in the Evaluate batch
+	parent   *deltaNode // nil for trunk nodes
+	depth    int        // residue generations from the trunk (0 = trunk)
+	children int
+	done     chan struct{}
+	rsd      *sim.Residue
+}
 
 // chunkSpan returns the chunk size for n group leaders on w workers:
 // an even split across the pool, re-balanced under the maxBatch cap.
@@ -124,8 +201,13 @@ func (e *Engine) Evaluate(ctx context.Context, reqs []Request) ([]Value, error) 
 		}
 		groups[bk] = append(groups[bk], i)
 	}
-	var chunks [][]int
-	var followers [][2]int // {follower index, leader index}
+	type plannedChunk struct {
+		idxs  []int        // request indices
+		nodes []*deltaNode // aligned; nil = no residue needed
+	}
+	var chunks []plannedChunk
+	var deltaWaves [][]*deltaNode // same fingerprint group, same depth
+	var followers [][2]int        // {follower index, leader index}
 	var spilled int64
 	for _, bk := range groupOrder {
 		var leaders []int
@@ -144,13 +226,35 @@ func (e *Engine) Evaluate(ctx context.Context, reqs []Request) ([]Value, error) 
 			spilled += int64(len(leaders))
 			continue
 		}
-		span := chunkSpan(len(leaders), e.workers)
-		for lo := 0; lo < len(leaders); lo += span {
+		trunk, trunkNodes, deltas := e.planDeltaTree(reqs, leaders)
+		span := chunkSpan(len(trunk), e.workers)
+		for lo := 0; lo < len(trunk); lo += span {
 			hi := lo + span
-			if hi > len(leaders) {
-				hi = len(leaders)
+			if hi > len(trunk) {
+				hi = len(trunk)
 			}
-			chunks = append(chunks, leaders[lo:hi])
+			chunks = append(chunks, plannedChunk{trunk[lo:hi], trunkNodes[lo:hi]})
+		}
+		// Delta nodes replay in per-depth waves: one wave holds every
+		// node of one residue generation regardless of parent, so wide
+		// but shallow trees keep full batch amortization instead of
+		// fragmenting into per-parent walks (Gray-code neighborhoods
+		// produce path-like trees whose parents have one or two
+		// children each). Waves never span fingerprint groups — all
+		// members of a wave share one behavior trace.
+		byDepth := make([][]*deltaNode, maxDeltaDepth)
+		for _, nd := range deltas {
+			byDepth[nd.depth-1] = append(byDepth[nd.depth-1], nd)
+		}
+		for _, wave := range byDepth {
+			wspan := chunkSpan(len(wave), e.workers)
+			for lo := 0; lo < len(wave); lo += wspan {
+				hi := lo + wspan
+				if hi > len(wave) {
+					hi = len(wave)
+				}
+				deltaWaves = append(deltaWaves, wave[lo:hi])
+			}
 		}
 	}
 	if spilled > 0 {
@@ -239,28 +343,82 @@ func (e *Engine) Evaluate(ctx context.Context, reqs []Request) ([]Value, error) 
 	}
 
 	// Batched chunks: each occupies one worker slot and serves all its
-	// members from a single trace pass.
+	// members from a single trace pass, capturing residues for members
+	// with delta children. Every trunk node's done channel is released
+	// on every exit path — with a nil residue on failure — so waiting
+	// delta children never hang.
 	for _, chunk := range chunks {
 		wg.Add(1)
-		go func(chunk []int) {
+		go func(chunk plannedChunk) {
 			defer wg.Done()
+			defer func() {
+				for _, nd := range chunk.nodes {
+					if nd != nil {
+						close(nd.done)
+					}
+				}
+			}()
 			select {
 			case sem <- struct{}{}:
 			case <-bctx.Done():
-				for _, i := range chunk {
+				for _, i := range chunk.idxs {
 					fail(i, bctx.Err())
 				}
 				return
 			}
 			defer func() { <-sem }()
 			if err := bctx.Err(); err != nil {
-				for _, i := range chunk {
+				for _, i := range chunk.idxs {
 					fail(i, err)
 				}
 				return
 			}
-			e.computeChunk(bctx, reqs, chunk, keys, ents, out, errs, abort)
+			e.computeChunk(bctx, reqs, chunk.idxs, chunk.nodes, keys, ents, out, errs, abort)
 		}(chunk)
+	}
+
+	// Delta waves: all same-depth delta nodes of one fingerprint group
+	// share a single ReplayDeltaBatch walk against their respective
+	// parents' residues. Each wave waits for every distinct parent's
+	// residue WITHOUT holding a worker slot (so residue generations can
+	// never deadlock the pool), then takes one slot for the whole walk.
+	// A member whose parent produced no residue falls back to a full
+	// recompute inside the same walk.
+	for _, wave := range deltaWaves {
+		wg.Add(1)
+		go func(group []*deltaNode) {
+			defer wg.Done()
+			defer func() {
+				for _, nd := range group {
+					close(nd.done)
+				}
+			}()
+			failAll := func(err error) {
+				for _, nd := range group {
+					fail(nd.idx, err)
+				}
+			}
+			for _, nd := range group {
+				select {
+				case <-nd.parent.done:
+				case <-bctx.Done():
+					failAll(bctx.Err())
+					return
+				}
+			}
+			select {
+			case sem <- struct{}{}:
+			case <-bctx.Done():
+				failAll(bctx.Err())
+				return
+			}
+			defer func() { <-sem }()
+			if err := bctx.Err(); err != nil {
+				failAll(err)
+				return
+			}
+			e.computeDeltaGroup(bctx, reqs, group, keys, ents, out, errs, abort)
+		}(wave)
 	}
 
 	wg.Wait()
@@ -281,10 +439,13 @@ func (e *Engine) Evaluate(ctx context.Context, reqs []Request) ([]Value, error) 
 // computeChunk replays one fingerprint-group chunk through
 // sim.ReplayBatch: the behavior trace is resolved once (single-flight
 // memoized across chunks) and every member's connectivity architecture
-// is re-timed in the same trace pass. A batch-level failure falls back
-// to the per-request path so one poisoned member cannot take down its
-// group-mates.
-func (e *Engine) computeChunk(ctx context.Context, reqs []Request, chunk []int, keys []uint64, ents []*entry, out []Value, errs []error, abort func(error)) {
+// is re-timed in the same trace pass, capturing replay residues for
+// members whose delta-tree node has children (the caller publishes
+// them by closing the nodes' done channels). A batch-level failure
+// falls back to the per-request path so one poisoned member cannot
+// take down its group-mates — its residues stay nil and the delta
+// children degrade to full replays.
+func (e *Engine) computeChunk(ctx context.Context, reqs []Request, chunk []int, nodes []*deltaNode, keys []uint64, ents []*entry, out []Value, errs []error, abort func(error)) {
 	instrumented := e.obs.Enabled() || e.metrics != nil
 	var start time.Time
 	if instrumented {
@@ -300,10 +461,28 @@ func (e *Engine) computeChunk(ctx context.Context, reqs []Request, chunk []int, 
 		return
 	}
 	archs := make([]*connect.Arch, len(chunk))
+	want := make([]bool, len(chunk))
+	anyResidue := false
 	for j, i := range chunk {
 		archs[j] = reqs[i].Conn
+		if nodes[j] != nil && nodes[j].children > 0 {
+			want[j] = true
+			anyResidue = true
+		}
 	}
-	results, rerr := sim.ReplayBatch(bt, archs)
+	var results []*sim.Result
+	var rerr error
+	if anyResidue {
+		var rsds []*sim.Residue
+		results, rsds, rerr = sim.ReplayBatchResidue(bt, archs, want)
+		for j := range chunk {
+			if rerr == nil && want[j] {
+				nodes[j].rsd = rsds[j]
+			}
+		}
+	} else {
+		results, rerr = sim.ReplayBatch(bt, archs)
+	}
 	if rerr != nil {
 		for _, i := range chunk {
 			v, err := e.computeOne(ctx, reqs[i])
@@ -400,4 +579,254 @@ func (e *Engine) awaitShared(ctx context.Context, r Request, leader *entry) (Val
 		e.emitEval(r, v, time.Since(start))
 	}
 	return v, nil
+}
+
+// planDeltaTree organizes one fingerprint group's deduped leaders into
+// a minimum-spanning delta tree over per-channel timing-signature
+// distance (Prim's algorithm with deterministic index tie-breaks, so
+// the plan — and therefore every stat — is identical across runs and
+// worker counts). A leader whose tree parent differs in at most half
+// the channels becomes a delta node replayed against the parent's
+// residue; everything else (the root, far-away leaders, nodes past the
+// depth cap, structurally odd candidates) stays on the trunk and
+// replays through the batch path. Request.BaseConn hints break
+// distance ties toward a parent from the same exploration
+// neighborhood, where real reuse is most likely. Returns the trunk
+// request indices, their aligned nodes (nil when no residue is
+// needed), and the delta nodes.
+func (e *Engine) planDeltaTree(reqs []Request, leaders []int) ([]int, []*deltaNode, []*deltaNode) {
+	n := len(leaders)
+	asTrunk := func() ([]int, []*deltaNode, []*deltaNode) {
+		return leaders, make([]*deltaNode, n), nil
+	}
+	if n > maxDeltaPlan {
+		return asTrunk()
+	}
+	if !e.deltaWorthwhile() {
+		return asTrunk()
+	}
+	sigs := make([][]uint64, n)
+	for j, i := range leaders {
+		sigs[j] = sim.ChannelSignatures(reqs[i].Conn)
+	}
+	// A leader whose channel count disagrees with the root's cannot be
+	// compared (it will fail replay validation later); it is kept at
+	// infinite distance and lands on the trunk.
+	nc := len(sigs[0])
+	const inf = int(^uint(0) >> 1)
+	dist := func(a, b int) int {
+		if len(sigs[a]) != nc || len(sigs[b]) != nc {
+			return inf
+		}
+		d := 0
+		for c := range sigs[a] {
+			if sigs[a][c] != sigs[b][c] {
+				d++
+			}
+		}
+		return d
+	}
+	sameBase := func(a, b int) bool {
+		base := reqs[leaders[a]].BaseConn
+		return base != nil && base == reqs[leaders[b]].BaseConn
+	}
+
+	// Prim from leader 0: order holds tree-addition order, so parents
+	// always precede their children in it.
+	best := make([]int, n)
+	par := make([]int, n)
+	inTree := make([]bool, n)
+	order := make([]int, 1, n)
+	par[0] = -1
+	inTree[0] = true
+	for j := 1; j < n; j++ {
+		best[j] = dist(0, j)
+		par[j] = 0
+	}
+	for len(order) < n {
+		pick := -1
+		for j := 1; j < n; j++ {
+			if !inTree[j] && (pick == -1 || best[j] < best[pick]) {
+				pick = j
+			}
+		}
+		inTree[pick] = true
+		order = append(order, pick)
+		for j := 1; j < n; j++ {
+			if inTree[j] {
+				continue
+			}
+			if d := dist(pick, j); d < best[j] {
+				best[j] = d
+				par[j] = pick
+			} else if d == best[j] && sameBase(j, pick) && !sameBase(j, par[j]) {
+				par[j] = pick
+			}
+		}
+	}
+
+	// Classify in addition order: depth is known for every parent by
+	// the time its children are visited.
+	depth := make([]int, n)
+	nodes := make([]*deltaNode, n)
+	node := func(j int) *deltaNode {
+		if nodes[j] == nil {
+			nodes[j] = &deltaNode{idx: leaders[j], done: make(chan struct{})}
+		}
+		return nodes[j]
+	}
+	var trunk, trunkIdx []int
+	var deltas []*deltaNode
+	for _, j := range order {
+		p := par[j]
+		// Delta only when strictly less than half the channels changed:
+		// at dist == nc/2 (e.g. one of two channels on a single-module
+		// arch) the splice surface is too small to beat the batch
+		// path's shared decode.
+		if p >= 0 && best[j] < (nc+1)/2 && depth[p] < maxDeltaDepth {
+			depth[j] = depth[p] + 1
+			nd := node(j)
+			nd.parent = node(p)
+			nd.depth = depth[j]
+			nd.parent.children++
+			deltas = append(deltas, nd)
+		} else {
+			trunk = append(trunk, leaders[j])
+			trunkIdx = append(trunkIdx, j)
+		}
+	}
+	trunkNodes := make([]*deltaNode, len(trunk))
+	for t, j := range trunkIdx {
+		trunkNodes[t] = nodes[j] // nil when the trunk leader has no children
+	}
+	return trunk, trunkNodes, deltas
+}
+
+// computeDeltaGroup serves one delta wave — same-depth delta nodes of
+// one fingerprint group — from a single sim.ReplayDeltaBatch walk,
+// each member against its own parent's residue: bit-exact versus full
+// replays, with the same accounting as computeChunk plus the
+// engine/delta/* metrics. A member whose parent's residue is
+// unavailable (nil: batch fallback, latency overflow) is fully
+// recomputed inside the same walk and still captures a residue for
+// its own subtree; a batch-level error falls back to per-member
+// replays so one poisoned member cannot take down its wave-mates.
+// Members served by any full-replay path count as delta fallbacks.
+func (e *Engine) computeDeltaGroup(ctx context.Context, reqs []Request, group []*deltaNode, keys []uint64, ents []*entry, out []Value, errs []error, abort func(error)) {
+	instrumented := e.obs.Enabled() || e.metrics != nil
+	var start time.Time
+	if instrumented {
+		start = time.Now()
+	}
+	bt, err := e.behaviorTrace(ctx, reqs[group[0].idx])
+	if err != nil {
+		for _, nd := range group {
+			errs[nd.idx] = err
+			e.finishOwned(keys[nd.idx], ents[nd.idx], Value{}, err)
+		}
+		abort(err)
+		return
+	}
+	bases := make([]*sim.Residue, len(group))
+	archs := make([]*connect.Arch, len(group))
+	want := make([]bool, len(group))
+	for j, nd := range group {
+		bases[j] = nd.parent.rsd
+		archs[j] = reqs[nd.idx].Conn
+		want[j] = nd.children > 0
+	}
+
+	// Resolve every member to (result, residue, fellBack); a member left
+	// with a nil result failed and already carries its error.
+	type member struct {
+		res      *sim.Result
+		rsd      *sim.Residue
+		info     sim.DeltaInfo
+		fellBack bool
+	}
+	members := make([]member, len(group))
+	served := false
+	if results, rsds, infos, rerr := sim.ReplayDeltaBatch(bt, bases, archs, want); rerr == nil {
+		for j := range group {
+			members[j] = member{res: results[j], rsd: rsds[j], info: *infos[j], fellBack: infos[j].Fallback}
+		}
+		served = true
+	}
+	// On error, the per-member recovery surfaces the broken candidate's
+	// real error while still serving its wave-mates.
+	if !served {
+		for j, nd := range group {
+			results, rsds, ferr := sim.ReplayBatchResidue(bt, archs[j:j+1], want[j:j+1])
+			if ferr != nil {
+				errs[nd.idx] = ferr
+				e.finishOwned(keys[nd.idx], ents[nd.idx], Value{}, ferr)
+				abort(ferr)
+				continue
+			}
+			members[j] = member{res: results[0], rsd: rsds[0], fellBack: true}
+			members[j].info.RecomputedEvents = int64(bt.NumEvents())
+		}
+	}
+
+	var wall, amort time.Duration
+	if instrumented {
+		wall = time.Since(start)
+		amort = wall / time.Duration(len(group))
+	}
+	var deltaReplays, deltaChannels, deltaFallbacks int64
+	var deltaSpliced, deltaRecomputed int64
+	for j, nd := range group {
+		mo := &members[j]
+		if mo.res == nil {
+			continue // failed in the per-member recovery above
+		}
+		deltaSpliced += mo.info.SplicedEvents
+		deltaRecomputed += mo.info.RecomputedEvents
+		r := reqs[nd.idx]
+		v := Value{
+			Cost:      r.Mem.Gates() + r.Conn.Gates(),
+			Latency:   mo.res.AvgLatency(),
+			Energy:    mo.res.AvgEnergy(),
+			Estimated: r.Mode == Sampled,
+			Work:      mo.res.Accesses,
+		}
+		e.m.schedIssues.Add(mo.res.SchedIssues)
+		e.m.schedConflicts.Add(mo.res.SchedConflicts)
+		e.recordSim(r, v)
+		if mo.fellBack {
+			deltaFallbacks++
+			e.m.deltaFallbacks.Inc()
+			e.m.deltaReuse.Observe(0)
+		} else {
+			deltaReplays++
+			deltaChannels += int64(mo.info.ChannelsReused)
+			e.m.deltaReplays.Inc()
+			e.m.deltaChannels.Add(int64(mo.info.ChannelsReused))
+			if total := mo.info.SplicedEvents + mo.info.RecomputedEvents; total > 0 {
+				e.m.deltaReuse.Observe(100 * float64(mo.info.SplicedEvents) / float64(total))
+			}
+		}
+		if instrumented {
+			e.m.evals.Inc()
+			e.m.sims.Inc()
+			if r.Mode == Full {
+				e.m.fullAcc.Add(v.Work)
+				e.m.evalWallFull.Observe(float64(amort.Microseconds()))
+			} else {
+				e.m.sampledAcc.Add(v.Work)
+				e.m.evalWallSampled.Observe(float64(amort.Microseconds()))
+			}
+			e.emitEval(r, v, amort)
+		}
+		nd.rsd = mo.rsd
+		e.finishOwned(keys[nd.idx], ents[nd.idx], v, nil)
+		out[nd.idx] = v
+	}
+	e.mu.Lock()
+	e.stats.DeltaReplays += deltaReplays
+	e.stats.DeltaChannelsReused += deltaChannels
+	e.stats.DeltaFallbacks += deltaFallbacks
+	e.stats.DeltaSplicedEvents += deltaSpliced
+	e.stats.DeltaRecomputedEvents += deltaRecomputed
+	e.mu.Unlock()
 }

@@ -146,6 +146,22 @@ type batchReplayer struct {
 	fastIssues []int64               // trivially granted issues (uncontended clusters)
 	now        []int64
 	res        []Result
+
+	// Optional per-arch latency recording for residue capture
+	// (ReplayBatchResidue / ReplayDelta). rec == nil disables recording
+	// entirely; rec[a] == nil disables it for arch a. recOver[a] flags a
+	// latency that did not fit int32 (the residue is then discarded).
+	rec     [][]int32
+	recOver []bool
+}
+
+// recordLat appends one event latency to arch a's recording.
+func (b *batchReplayer) recordLat(a, lat int) {
+	if lat < 0 || int64(lat) > int64(maxInt32) {
+		b.recOver[a] = true
+		lat = 0
+	}
+	b.rec[a] = append(b.rec[a], int32(lat))
 }
 
 func newBatchReplayer(bt *BehaviorTrace, archs []*connect.Arch) *batchReplayer {
@@ -340,6 +356,9 @@ func (b *batchReplayer) run() {
 					// stay separate and ordered to match event().
 					ct := b.tabs[x]
 					lat := int64(ct.cyc[size]) + modLat
+					if b.rec != nil && b.rec[a] != nil {
+						b.recordLat(a, int(lat))
+					}
 					r := &b.res[a]
 					r.EnergyNJ += ct.en[size]
 					r.EnergyNJ += modEnergy
@@ -372,6 +391,9 @@ func (b *batchReplayer) run() {
 // reference replayer's run loop.
 func (b *batchReplayer) slowEvent(a, i int) {
 	lat := b.event(a, i)
+	if b.rec != nil && b.rec[a] != nil {
+		b.recordLat(a, lat)
+	}
 	r := &b.res[a]
 	r.Accesses++
 	r.TotalLatency += int64(lat)

@@ -66,14 +66,33 @@ func assertBatchExact(t *testing.T, name string, bt *BehaviorTrace, conns []*con
 	if len(batch) != len(conns) {
 		t.Fatalf("%s: ReplayBatch returned %d results for %d archs", name, len(batch), len(conns))
 	}
+	// Residue capture must not perturb the replay: the recording pass
+	// returns bit-identical Results and one residue per requested arch.
+	want := make([]bool, len(conns))
+	for i := range want {
+		want[i] = i%2 == 0
+	}
+	recorded, residues, err := ReplayBatchResidue(bt, conns, want)
+	if err != nil {
+		t.Fatalf("%s: ReplayBatchResidue: %v", name, err)
+	}
 	for i, c := range conns {
-		want, err := Replay(bt, c)
+		ref, err := Replay(bt, c)
 		if err != nil {
 			t.Fatalf("%s[%d]: Replay: %v", name, i, err)
 		}
-		if !reflect.DeepEqual(batch[i], want) {
+		if !reflect.DeepEqual(batch[i], ref) {
 			t.Errorf("%s[%d]: batch result diverged from Replay:\n got %+v\nwant %+v",
-				name, i, batch[i], want)
+				name, i, batch[i], ref)
+		}
+		if !reflect.DeepEqual(recorded[i], ref) {
+			t.Errorf("%s[%d]: residue-recording result diverged from Replay", name, i)
+		}
+		if want[i] && residues[i] == nil {
+			t.Errorf("%s[%d]: requested residue is nil", name, i)
+		}
+		if !want[i] && residues[i] != nil {
+			t.Errorf("%s[%d]: unrequested residue returned", name, i)
 		}
 	}
 }

@@ -1,0 +1,746 @@
+// Incremental delta-replay: re-time only the channels a candidate
+// changes.
+//
+// Neighborhood-style exploration produces long runs of connectivity
+// candidates that differ from an already-replayed sibling in a single
+// cluster's component. Replay and ReplayBatch still pay O(full trace)
+// for each of them. ReplayDelta re-times such a sibling against a
+// *residue* kept from a base candidate's replay — the per-channel
+// timing signatures, the per-channel contention flags and the
+// per-event latencies of the base run — and walks the trace touching
+// only what actually changed.
+//
+// # The splice rule, and why it is sound
+//
+// Every event's latency is a function of (a) the timing tables of the
+// channels it touches, (b) the scheduler grants on those channels and
+// (c) trace-recorded module behavior (hit/miss, stall, demand and
+// prefetch byte counts). The replayed CPU is blocking, so — exactly as
+// the batch replayer's contention analysis establishes — a cluster
+// that never receives background prefetch traffic grants every request
+// at its asking cycle: the grant chain inside such an event is a pure
+// offset from the event's start, independent of the absolute clock.
+// Therefore an event is *spliceable* when
+//
+//  1. its route is not clock-coupled: not a stream-buffer or DMA
+//     module (their stalls depend on the replay's absolute clock
+//     history) and carrying no prefetch leg, and
+//  2. every channel it touches is uncontended on BOTH the base and
+//     the sibling architecture, and
+//  3. every channel it touches has the same per-channel timing
+//     signature (component timing parameters + cluster co-members) on
+//     both architectures.
+//
+// Under (1)-(3) the event's latency on the sibling equals its recorded
+// base latency bit-for-bit, its scheduler is provably a no-op, and its
+// channel-counter contributions are trace-determined. Everything else
+// — events touching a changed or contended channel, and all
+// stream/DMA events — is recomputed with the real machinery at the
+// exact sibling clock, which the spliced events keep advancing
+// identically to a full replay. Because per-channel signatures include
+// the sorted cluster co-member list, signature equality implies
+// identical scheduler sharing, and a signature-equal channel has the
+// same contention status on both architectures (contention is decided
+// by trace + cluster membership alone).
+//
+// Energy is the one contribution that cannot be aggregated: float64
+// addition is not associative, so bit-exactness requires replaying the
+// exact same sequence of additions. Spliced events therefore still
+// perform their 1-4 energy adds — reading the very table values the
+// full replay would — but skip all latency arithmetic, scheduler
+// bookkeeping and event decoding (a spliced event reads one class id
+// and one recorded latency instead of the full event record).
+//
+// When no event is spliceable the delta degenerates to a full replay;
+// ReplayDelta detects that case exactly (spliceable-event count == 0)
+// and reports it as a fallback — a provable rule, not a heuristic.
+//
+// ReplayDeltaBatch extends the same machinery to K siblings, each
+// with its own base residue (delta trees are shallow and wide, so the
+// members of one replay wave usually answer to different parents):
+// the trace is walked once, each event's class is resolved once, and
+// every sibling independently splices from its own base or recomputes
+// at its own clock — so the delta path keeps the batch replayer's
+// shared-decode amortization instead of paying a full walk per
+// sibling. Siblings that fall back — including members whose base
+// residue is nil — ride the same walk as plain batch members.
+// ReplayDelta is the K=1, one-base special case.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"memorex/internal/connect"
+	"memorex/internal/mem"
+)
+
+// FNV-1a parameters for the per-channel signature hash.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+const maxInt32 = 1<<31 - 1
+
+func fnvMix(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime64
+		v >>= 8
+	}
+	return h
+}
+
+// ChannelSignatures returns one 64-bit timing signature per channel of
+// the architecture: a digest of the owning cluster's component timing
+// parameters (width, arbitration, beat, pipelining, split transactions,
+// energy per byte) and the cluster's sorted channel-member list. Two
+// channels with equal signatures on two architectures are served by
+// timing-identical components with identical scheduler sharing, so
+// their per-event timing and energy contributions are interchangeable.
+// Names, classes, port bounds and gate counts are deliberately
+// excluded.
+func ChannelSignatures(arch *connect.Arch) []uint64 {
+	sigs := make([]uint64, len(arch.Channels))
+	var members []int
+	for cl := range arch.Clusters {
+		comp := &arch.Assign[cl]
+		members = append(members[:0], arch.Clusters[cl]...)
+		sort.Ints(members)
+		h := uint64(fnvOffset64)
+		h = fnvMix(h, uint64(comp.WidthBytes))
+		h = fnvMix(h, uint64(comp.ArbCycles))
+		h = fnvMix(h, uint64(comp.BeatCycles))
+		h = fnvMix(h, boolBit(comp.Pipelined))
+		h = fnvMix(h, boolBit(comp.Split))
+		h = fnvMix(h, math.Float64bits(comp.EnergyPerByte))
+		h = fnvMix(h, uint64(len(members)))
+		for _, m := range members {
+			h = fnvMix(h, uint64(m))
+		}
+		for _, ch := range arch.Clusters[cl] {
+			sigs[ch] = h
+		}
+	}
+	return sigs
+}
+
+func boolBit(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Residue is the reusable timing residue of one replay: everything a
+// sibling architecture needs to splice the base's unchanged-channel
+// contributions instead of recomputing them. Residues are produced by
+// ReplayResidue, ReplayBatchResidue and (for chaining) ReplayDelta
+// itself; they are immutable and safe for concurrent use.
+type Residue struct {
+	arch *connect.Arch
+	sigs []uint64 // per-channel timing signature of the base
+	cont []bool   // per-channel contended flag on the base
+	lat  []int32  // per-event latency of the base replay
+	idx  *eventIndex
+
+	// Per-class latency aggregates of the base replay: latSum[c] is the
+	// summed latency of class c's events, latHist[c*numLatBuckets+k] its
+	// latency-histogram bucket counts. They let the delta walk account a
+	// spliced class's integer latency contributions in one shot instead
+	// of per event (integer addition is associative, so the aggregate is
+	// exact — unlike energy, which stays per-event).
+	latSum  []int64
+	latHist []int64
+}
+
+// numLatBuckets is the size of Result.LatencyHist.
+const numLatBuckets = len(Result{}.LatencyHist)
+
+// Arch returns the base architecture the residue was captured from.
+func (r *Residue) Arch() *connect.Arch { return r.arch }
+
+// DeltaInfo reports what one ReplayDelta call reused and recomputed.
+type DeltaInfo struct {
+	// SplicedEvents / RecomputedEvents partition the trace events.
+	SplicedEvents    int64
+	RecomputedEvents int64
+	// ChannelsReused counts channels whose timing signature matched the
+	// base's and were uncontended on both architectures;
+	// ChannelsChanged is the rest.
+	ChannelsReused  int
+	ChannelsChanged int
+	// Fallback is true when no event was spliceable and the call
+	// degenerated to a full replay (the provable fallback rule).
+	Fallback bool
+}
+
+// evClass is one interned event shape: the touched channels and the
+// trace-determined fields a spliced event needs. Latency never appears
+// here — it is read from the residue.
+type evClass struct {
+	chans    [3]int32 // touched channels (cpu/direct, backing, l2-dram); -1 unused
+	dem      int32    // demand backing bytes
+	demL2    int32    // demand bytes forwarded past the L2
+	route    int16
+	size     uint8
+	hit      bool
+	spliceOK bool // structure permits splicing (not stream/DMA, no prefetch leg)
+}
+
+// eventIndex is the per-trace classification used by the delta walk:
+// each event resolves to one interned class, so the spliced path never
+// decodes the full event record. Built once per residue capture and
+// shared by every residue of the same trace.
+type eventIndex struct {
+	cpuChan    []int32
+	backChan   []int32
+	directChan int32
+	l2DRAMChan int32
+	classOf    []int32
+	classes    []evClass
+	counts     []int64 // events per class
+}
+
+func buildEventIndex(bt *BehaviorTrace) *eventIndex {
+	nm := len(bt.Modules)
+	idx := &eventIndex{
+		cpuChan:    make([]int32, nm),
+		backChan:   make([]int32, nm),
+		directChan: -1,
+		l2DRAMChan: -1,
+		classOf:    make([]int32, bt.NumEvents()),
+	}
+	for m := range idx.backChan {
+		idx.backChan[m] = -1
+	}
+	for ci, ch := range bt.Channels {
+		switch ch.Kind {
+		case mem.ChanCPUModule:
+			idx.cpuChan[ch.Module] = int32(ci)
+		case mem.ChanModuleDRAM, mem.ChanModuleL2:
+			idx.backChan[ch.Module] = int32(ci)
+		case mem.ChanCPUDRAM:
+			idx.directChan = int32(ci)
+		case mem.ChanL2DRAM:
+			idx.l2DRAMChan = int32(ci)
+		}
+	}
+	type classKey struct {
+		dem, demL2 int32
+		route      int16
+		size       uint8
+		hit, pref  bool
+	}
+	seen := map[classKey]int32{}
+	for i := range bt.Route {
+		k := classKey{
+			route: bt.Route[i],
+			size:  bt.Size[i],
+			hit:   bt.Flags[i]&flagHit != 0,
+			pref:  bt.PrefBytes[i] > 0,
+			dem:   bt.DemandBytes[i],
+			demL2: bt.DemandL2Off[i],
+		}
+		ci, ok := seen[k]
+		if !ok {
+			c := evClass{
+				chans: [3]int32{-1, -1, -1},
+				route: k.route, size: k.size, hit: k.hit,
+				dem: k.dem, demL2: k.demL2,
+			}
+			if k.route < 0 {
+				c.chans[0] = idx.directChan
+				c.spliceOK = true
+			} else {
+				c.chans[0] = idx.cpuChan[k.route]
+				kind := bt.Modules[k.route].Kind
+				c.spliceOK = kind != mem.KindStream && kind != mem.KindDMA && !k.pref
+				if k.dem > 0 {
+					c.chans[1] = idx.backChan[k.route]
+					if c.chans[1] == -1 {
+						c.spliceOK = false
+					}
+					if bt.HasL2 && k.demL2 > 0 && idx.l2DRAMChan != -1 {
+						c.chans[2] = idx.l2DRAMChan
+					}
+				}
+			}
+			ci = int32(len(idx.classes))
+			idx.classes = append(idx.classes, c)
+			idx.counts = append(idx.counts, 0)
+			seen[k] = ci
+		}
+		idx.classOf[i] = ci
+		idx.counts[ci]++
+	}
+	return idx
+}
+
+// eventIdx returns the trace's delta-replay event index, building it on
+// the first call and caching it on the trace. Safe for concurrent use;
+// the trace is immutable once captured.
+func (bt *BehaviorTrace) eventIdx() *eventIndex {
+	bt.evIdxOnce.Do(func() { bt.evIdx = buildEventIndex(bt) })
+	return bt.evIdx
+}
+
+// newResidue assembles a residue from a completed recording pass,
+// precomputing the per-class latency aggregates the delta walk splices
+// from.
+func newResidue(arch *connect.Arch, cont []bool, lat []int32, idx *eventIndex) *Residue {
+	ncls := len(idx.classes)
+	latSum := make([]int64, ncls)
+	latHist := make([]int64, ncls*numLatBuckets)
+	for i, ci := range idx.classOf {
+		l := int(lat[i])
+		latSum[ci] += int64(l)
+		latHist[int(ci)*numLatBuckets+latBucket(l)]++
+	}
+	return &Residue{
+		arch:    arch,
+		sigs:    ChannelSignatures(arch),
+		cont:    append([]bool(nil), cont...),
+		lat:     lat,
+		idx:     idx,
+		latSum:  latSum,
+		latHist: latHist,
+	}
+}
+
+// ReplayResidue replays one architecture like Replay and additionally
+// returns its timing residue for later ReplayDelta calls. The Result is
+// bit-exact equal to Replay's. The residue is nil (with a valid Result)
+// in the pathological case of a per-event latency overflowing int32.
+func ReplayResidue(bt *BehaviorTrace, arch *connect.Arch) (*Result, *Residue, error) {
+	results, residues, err := ReplayBatchResidue(bt, []*connect.Arch{arch}, []bool{true})
+	if err != nil {
+		return nil, nil, err
+	}
+	return results[0], residues[0], nil
+}
+
+// ReplayBatchResidue is ReplayBatch with residue capture: archs[i]'s
+// residue is returned when want[i] is true. Results are bit-exact equal
+// to ReplayBatch's; all returned residues share one event index for the
+// trace. A wanted residue is nil when a per-event latency overflowed
+// int32 (its Result is still valid).
+func ReplayBatchResidue(bt *BehaviorTrace, archs []*connect.Arch, want []bool) ([]*Result, []*Residue, error) {
+	if len(want) != len(archs) {
+		return nil, nil, fmt.Errorf("sim: residue want mask covers %d archs, batch has %d", len(want), len(archs))
+	}
+	for i, a := range archs {
+		if a == nil {
+			return nil, nil, fmt.Errorf("sim: batch arch %d is nil", i)
+		}
+		if err := checkReplayArch(bt, a); err != nil {
+			return nil, nil, fmt.Errorf("sim: batch arch %d: %w", i, err)
+		}
+	}
+	if len(archs) == 0 {
+		return nil, nil, nil
+	}
+	b := newBatchReplayer(bt, archs)
+	b.rec = make([][]int32, len(archs))
+	b.recOver = make([]bool, len(archs))
+	for a := range archs {
+		if want[a] {
+			b.rec[a] = make([]int32, 0, bt.NumEvents())
+		}
+	}
+	b.run()
+	idx := bt.eventIdx()
+	results := make([]*Result, len(archs))
+	residues := make([]*Residue, len(archs))
+	for a := range archs {
+		results[a] = &b.res[a]
+		if want[a] && !b.recOver[a] {
+			residues[a] = newResidue(archs[a], b.cont[a*b.nc:(a+1)*b.nc], b.rec[a], idx)
+		}
+	}
+	return results, residues, nil
+}
+
+// ReplayDelta re-times a sibling architecture against a base residue,
+// recomputing only events that touch changed or contended channels and
+// splicing everything else from the base. The Result is bit-exact equal
+// to Replay(bt, arch). When wantResidue is true a residue for the
+// sibling itself is returned (nil on int32 latency overflow), so delta
+// replays chain down a tree of candidates. The returned DeltaInfo
+// reports the reuse achieved; Fallback is set when no event was
+// spliceable and a full replay ran instead.
+func ReplayDelta(bt *BehaviorTrace, base *Residue, arch *connect.Arch, wantResidue bool) (*Result, *Residue, *DeltaInfo, error) {
+	if base == nil {
+		return nil, nil, nil, fmt.Errorf("sim: delta replay needs a base residue")
+	}
+	results, residues, infos, err := ReplayDeltaBatch(bt, []*Residue{base}, []*connect.Arch{arch}, []bool{wantResidue})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return results[0], residues[0], infos[0], nil
+}
+
+// ReplayDeltaBatch re-times K sibling architectures, each against its
+// own base residue, in a single pass over the event trace: each
+// event's class is resolved once and every sibling either splices its
+// base's contribution or recomputes the event at its own clock, so
+// siblings share the per-event decode exactly as ReplayBatch members
+// do. bases[i] may be shared between members and may be nil, in which
+// case member i is fully recomputed. results[i] is bit-exact equal to
+// Replay(bt, archs[i]); residues[i] is captured when want[i] is true
+// (nil on int32 latency overflow); infos[i] reports the per-sibling
+// reuse. A sibling with no spliceable event at all — a nil base
+// included — is flagged Fallback and fully recomputed inside the same
+// shared walk.
+func ReplayDeltaBatch(bt *BehaviorTrace, bases []*Residue, archs []*connect.Arch, want []bool) ([]*Result, []*Residue, []*DeltaInfo, error) {
+	if len(bases) != len(archs) {
+		return nil, nil, nil, fmt.Errorf("sim: delta bases cover %d archs, batch has %d", len(bases), len(archs))
+	}
+	if len(want) != len(archs) {
+		return nil, nil, nil, fmt.Errorf("sim: residue want mask covers %d archs, batch has %d", len(want), len(archs))
+	}
+	for i, a := range archs {
+		if a == nil {
+			return nil, nil, nil, fmt.Errorf("sim: delta arch %d is nil", i)
+		}
+		if err := checkReplayArch(bt, a); err != nil {
+			return nil, nil, nil, fmt.Errorf("sim: delta arch %d: %w", i, err)
+		}
+	}
+	var idx *eventIndex
+	for i, base := range bases {
+		if base == nil {
+			continue
+		}
+		if len(base.sigs) != len(bt.Channels) || len(base.lat) != bt.NumEvents() {
+			return nil, nil, nil, fmt.Errorf("sim: residue %d does not match behavior trace (%d channels / %d events, residue has %d / %d)",
+				i, len(bt.Channels), bt.NumEvents(), len(base.sigs), len(base.lat))
+		}
+		if idx == nil {
+			idx = base.idx
+		}
+	}
+	if len(archs) == 0 {
+		return nil, nil, nil, nil
+	}
+	if idx == nil {
+		idx = bt.eventIdx()
+	}
+
+	b := newBatchReplayer(bt, archs)
+	anyRec := false
+	for _, w := range want {
+		if w {
+			anyRec = true
+			break
+		}
+	}
+	if anyRec {
+		b.rec = make([][]int32, len(archs))
+		b.recOver = make([]bool, len(archs))
+		for a, w := range want {
+			if w {
+				b.rec[a] = make([]int32, 0, bt.NumEvents())
+			}
+		}
+	}
+
+	// Per sibling: a channel is clean when its timing signature matches
+	// the sibling's own base and it is uncontended on both architectures
+	// (signature equality already implies equal contention status; the
+	// base flag is checked for defense in depth). The per-event splice
+	// decision lifts to the class level — touched channels are a class
+	// property, so a class splices iff its structure permits it and all
+	// its touched channels are clean.
+	nc := len(bt.Channels)
+	ncls := len(idx.classes)
+	infos := make([]*DeltaInfo, len(archs))
+	spliceCls := make([]bool, len(archs)*ncls)
+	chanOK := make([]bool, nc) // per-sibling scratch
+	anySplice := false
+	for a, arch := range archs {
+		info := &DeltaInfo{}
+		infos[a] = info
+		base := bases[a]
+		if base == nil {
+			// No residue to splice from: the sibling rides the shared
+			// walk fully recomputed.
+			info.ChannelsChanged = nc
+			info.Fallback = true
+			continue
+		}
+		sigs := ChannelSignatures(arch)
+		for ch := 0; ch < nc; ch++ {
+			chanOK[ch] = sigs[ch] == base.sigs[ch] && !b.cont[a*nc+ch] && !base.cont[ch]
+			if chanOK[ch] {
+				info.ChannelsReused++
+			}
+		}
+		info.ChannelsChanged = nc - info.ChannelsReused
+		var spliceable int64
+		for c := range idx.classes {
+			cl := &idx.classes[c]
+			ok := cl.spliceOK
+			if ok {
+				for _, ch := range cl.chans {
+					if ch >= 0 && !chanOK[ch] {
+						ok = false
+						break
+					}
+				}
+			}
+			spliceCls[a*ncls+c] = ok
+			if ok {
+				spliceable += idx.counts[c]
+			}
+		}
+		if spliceable == 0 {
+			// Provable per-sibling fallback: nothing to splice. The
+			// sibling still rides the shared walk, fully recomputed.
+			info.Fallback = true
+		} else {
+			anySplice = true
+		}
+	}
+
+	if !anySplice {
+		// Every sibling fell back: the walk is exactly a batched full
+		// replay, fast paths included.
+		for a := range infos {
+			infos[a].RecomputedEvents = int64(bt.NumEvents())
+		}
+		b.run()
+	} else {
+		// Precompute each spliceable (sibling, class) pair's energy-add
+		// sequence: the exact table values, in the exact order, that the
+		// reference event path adds for one event of the class.
+		leans := make([]spliceLean, len(archs)*ncls)
+		for a := range archs {
+			for c := range idx.classes {
+				if spliceCls[a*ncls+c] {
+					leans[a*ncls+c] = spliceEnergies(b, a, &idx.classes[c])
+				}
+			}
+		}
+		runDeltaBatch(b, idx, bases, spliceCls, leans, infos)
+	}
+
+	results := make([]*Result, len(archs))
+	residues := make([]*Residue, len(archs))
+	for a := range archs {
+		results[a] = &b.res[a]
+		if want[a] && !b.recOver[a] {
+			residues[a] = newResidue(archs[a], b.cont[a*nc:(a+1)*nc], b.rec[a], idx)
+		}
+	}
+	return results, residues, infos, nil
+}
+
+// spliceLean is the per-(sibling, class) energy-add sequence of one
+// spliced event: up to 5 float64 values added to EnergyNJ in the exact
+// order (and with the exact operands) of the reference event path.
+// Everything else a spliced event contributes is integer-valued and
+// therefore associative — it is accounted per class after the walk by
+// spliceAggregate, leaving the walk's splice path with only the float
+// adds and the clock advance.
+type spliceLean struct {
+	vals [5]float64
+	n    int
+}
+
+// spliceEnergies derives sibling a's energy-add sequence for one event
+// of class c. Sums that the reference path adds in a single operation
+// (off-chip table energy + DRAM energy) stay a single operation here.
+func spliceEnergies(b *batchReplayer, a int, c *evClass) spliceLean {
+	bt := b.bt
+	var le spliceLean
+	if c.route < 0 {
+		x := a*b.nc + int(c.chans[0])
+		le.vals[0] = b.tabs[x].en[c.size] + bt.DRAMEnergy
+		le.n = 1
+		return le
+	}
+	le.vals[0] = b.tabs[a*b.nc+int(c.chans[0])].en[c.size]
+	le.vals[1] = bt.Modules[c.route].Energy
+	le.n = 2
+	if c.dem > 0 {
+		xb := a*b.nc + int(c.chans[1])
+		n := int(c.dem)
+		if !bt.HasL2 {
+			le.vals[2] = b.tabs[xb].en[n] + bt.DRAMEnergy
+			le.n = 3
+		} else {
+			le.vals[2] = b.tabs[xb].en[n]
+			le.vals[3] = bt.L2Energy
+			le.n = 4
+			if lch := c.chans[2]; lch >= 0 {
+				le.vals[4] = b.tabs[a*b.nc+int(lch)].en[int(c.demL2)] + bt.DRAMEnergy
+				le.n = 5
+			}
+		}
+	}
+	return le
+}
+
+// spliceAggregate books the integer contributions of all n spliced
+// events of one class for sibling a in one shot: channel counters,
+// hit/miss and issue counts scale linearly with the event count, and
+// the latency figures come from the base residue's per-class
+// aggregates. The clock and energy were already advanced during the
+// walk; scheduler totals are finalized by the caller afterwards.
+func spliceAggregate(b *batchReplayer, a int, c *evClass, n, latSum int64, latHist []int64) {
+	r := &b.res[a]
+	size := int64(c.size)
+	issue := func(x int) {
+		if b.comps[x].Split {
+			b.fastIssues[a] += 2 * n
+		} else {
+			b.fastIssues[a] += n
+		}
+	}
+	if c.route < 0 {
+		ch := c.chans[0]
+		r.ChannelTransfers[ch] += n
+		r.Misses += n
+		r.OffChipBytes += n * size
+		r.ChannelBytes[ch] += n * size
+		issue(a*b.nc + int(ch))
+	} else {
+		ch := c.chans[0]
+		b.fastIssues[a] += n
+		r.ChannelBytes[ch] += n * size
+		r.ChannelTransfers[ch] += n
+		if c.hit {
+			r.Hits += n
+		} else {
+			r.Misses += n
+		}
+		if c.dem > 0 {
+			bc := c.chans[1]
+			db := int64(c.dem)
+			r.ChannelTransfers[bc] += n
+			r.ChannelBytes[bc] += n * db
+			if !b.bt.HasL2 {
+				r.OffChipBytes += n * db
+				issue(a*b.nc + int(bc))
+			} else {
+				b.fastIssues[a] += n
+				if lch := c.chans[2]; lch >= 0 {
+					dl := int64(c.demL2)
+					r.ChannelTransfers[lch] += n
+					r.OffChipBytes += n * dl
+					r.ChannelBytes[lch] += n * dl
+					issue(a*b.nc + int(lch))
+				}
+			}
+		}
+	}
+	r.Accesses += n
+	r.TotalLatency += latSum
+	for k, h := range latHist {
+		r.LatencyHist[k] += h
+	}
+	r.Cycles += latSum + n
+}
+
+// runDeltaBatch is the shared delta walk: the batch replayer's window
+// loop with the per-event, per-sibling dispatch replaced by the
+// class-level splice decision. A spliced event performs only its
+// ordered energy adds, the residue-latency recording and the clock
+// advance — its integer counters are aggregated per class afterwards.
+// A recomputed pure on-chip hit keeps the batch replayer's
+// table-lookup fast path; everything else runs the full event
+// machinery at the sibling's own clock.
+func runDeltaBatch(b *batchReplayer, idx *eventIndex, bases []*Residue, spliceCls []bool, leans []spliceLean, infos []*DeltaInfo) {
+	bt := b.bt
+	nmods := b.nm
+	ncls := len(idx.classes)
+	classOf := idx.classOf
+	// Flat per-sibling base-latency views; a fallback sibling (nil base)
+	// never reaches the splice path, so its entry stays nil.
+	baseLat := make([][]int32, b.k)
+	for a, base := range bases {
+		if base != nil {
+			baseLat[a] = base.lat
+		}
+	}
+	pos := 0
+	for wi, wlen := range bt.WindowLen {
+		if bt.GapCycles[wi] > 0 {
+			rs := bt.Resync[wi*nmods*2 : (wi+1)*nmods*2]
+			for a := 0; a < b.k; a++ {
+				gapStart := b.now[a]
+				b.now[a] += bt.GapCycles[wi]
+				b.applyResync(a, rs, gapStart)
+			}
+		}
+		for i := pos; i < pos+int(wlen); i++ {
+			ci := int(classOf[i])
+			pure := b.pure[i]
+			c := &idx.classes[ci]
+			for a := 0; a < b.k; a++ {
+				if spliceCls[a*ncls+ci] {
+					le := &leans[a*ncls+ci]
+					r := &b.res[a]
+					for j := 0; j < le.n; j++ {
+						r.EnergyNJ += le.vals[j]
+					}
+					lat := baseLat[a][i]
+					if b.rec != nil && b.rec[a] != nil {
+						// Base latencies fit int32 by construction, so
+						// the recordLat overflow clamp cannot trigger.
+						b.rec[a] = append(b.rec[a], lat)
+					}
+					b.now[a] += int64(lat) + 1
+					continue
+				}
+				if pure {
+					x := a*b.nc + int(c.chans[0])
+					if !b.cont[x] {
+						// Pure on-chip hit on an uncontended cluster,
+						// exactly as in run(): table lookups only, the
+						// two energy adds separate and ordered.
+						ct := b.tabs[x]
+						elat := int64(ct.cyc[c.size]) + int64(bt.Modules[c.route].Latency)
+						if b.rec != nil && b.rec[a] != nil {
+							b.recordLat(a, int(elat))
+						}
+						r := &b.res[a]
+						r.EnergyNJ += ct.en[c.size]
+						r.EnergyNJ += bt.Modules[c.route].Energy
+						r.ChannelBytes[c.chans[0]] += int64(c.size)
+						r.ChannelTransfers[c.chans[0]]++
+						r.Hits++
+						b.fastIssues[a]++
+						r.Accesses++
+						r.TotalLatency += elat
+						r.LatencyHist[latBucket(int(elat))]++
+						r.Cycles += elat + 1
+						b.now[a] += elat + 1
+						continue
+					}
+				}
+				b.slowEvent(a, i)
+			}
+		}
+		pos += int(wlen)
+	}
+	for a := 0; a < b.k; a++ {
+		var spliced int64
+		for c := range idx.classes {
+			if spliceCls[a*ncls+c] {
+				n := idx.counts[c]
+				spliceAggregate(b, a, &idx.classes[c], n,
+					bases[a].latSum[c], bases[a].latHist[c*numLatBuckets:(c+1)*numLatBuckets])
+				spliced += n
+			}
+		}
+		infos[a].SplicedEvents = spliced
+		infos[a].RecomputedEvents = int64(bt.NumEvents()) - spliced
+		issues, conflicts := schedTotals(b.archScheds[a])
+		b.res[a].SchedIssues = issues + b.fastIssues[a]
+		b.res[a].SchedConflicts = conflicts
+	}
+}

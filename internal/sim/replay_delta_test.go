@@ -1,0 +1,518 @@
+package sim
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"memorex/internal/connect"
+	"memorex/internal/mem"
+	"memorex/internal/workload"
+)
+
+// TestChannelSignatures pins the per-channel signature contract: a
+// signature changes exactly when the channel's timing (component
+// parameters or cluster sharing) changes, and never with labels or
+// area/port metadata.
+func TestChannelSignatures(t *testing.T) {
+	m := richArch(false)
+	a := buildConnT(t, m, "ahb32", "off32")
+	b := buildConnT(t, m, "ahb32", "off32")
+	if !reflect.DeepEqual(ChannelSignatures(a), ChannelSignatures(b)) {
+		t.Fatal("independently built identical archs have different signatures")
+	}
+
+	// Reordering clusters must not move any channel's signature: the
+	// signature is indexed by channel, not by cluster position.
+	r := buildConnT(t, m, "ahb32", "off32")
+	for i, j := 0, len(r.Clusters)-1; i < j; i, j = i+1, j-1 {
+		r.Clusters[i], r.Clusters[j] = r.Clusters[j], r.Clusters[i]
+		r.Assign[i], r.Assign[j] = r.Assign[j], r.Assign[i]
+	}
+	if !reflect.DeepEqual(ChannelSignatures(a), ChannelSignatures(r)) {
+		t.Fatal("cluster reordering changed per-channel signatures")
+	}
+
+	// Non-timing metadata is excluded.
+	meta := buildConnT(t, m, "ahb32", "off32")
+	meta.Assign[0].Name = "renamed"
+	meta.Assign[0].MaxPorts += 3
+	meta.Assign[0].BaseGates += 100
+	meta.Assign[0].GatesPerPort += 10
+	if !reflect.DeepEqual(ChannelSignatures(a), ChannelSignatures(meta)) {
+		t.Fatal("non-timing component fields leaked into the signature")
+	}
+
+	// Every timing parameter must flip the owning cluster's channels —
+	// and only those.
+	mutations := []struct {
+		name string
+		mut  func(*connect.Component)
+	}{
+		{"width", func(c *connect.Component) { c.WidthBytes *= 2 }},
+		{"arb", func(c *connect.Component) { c.ArbCycles++ }},
+		{"beat", func(c *connect.Component) { c.BeatCycles++ }},
+		{"pipelined", func(c *connect.Component) { c.Pipelined = !c.Pipelined }},
+		{"split", func(c *connect.Component) { c.Split = !c.Split }},
+		{"epb", func(c *connect.Component) { c.EnergyPerByte += 0.001 }},
+	}
+	base := ChannelSignatures(a)
+	for _, mu := range mutations {
+		mod := buildConnT(t, m, "ahb32", "off32")
+		mu.mut(&mod.Assign[0])
+		got := ChannelSignatures(mod)
+		for ch := range got {
+			inCluster := false
+			for _, c := range mod.Clusters[0] {
+				if c == ch {
+					inCluster = true
+				}
+			}
+			if inCluster && got[ch] == base[ch] {
+				t.Errorf("%s: mutated cluster channel %d kept its signature", mu.name, ch)
+			}
+			if !inCluster && got[ch] != base[ch] {
+				t.Errorf("%s: untouched channel %d changed signature", mu.name, ch)
+			}
+		}
+	}
+
+	// Cluster membership is part of the signature: merging two channels
+	// onto one component changes their sharing, hence their timing.
+	shared := &connect.Arch{Channels: m.Channels()}
+	var on, off []int
+	for i, ch := range shared.Channels {
+		if ch.OffChip {
+			off = append(off, i)
+		} else {
+			on = append(on, i)
+		}
+	}
+	lib := connect.Library()
+	ahb, err := connect.ByName(lib, "ahb32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	off32, err := connect.ByName(lib, "off32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared.Clusters = [][]int{on, off}
+	shared.Assign = []connect.Component{ahb, off32}
+	if err := shared.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	got := ChannelSignatures(shared)
+	for _, ch := range on {
+		if got[ch] == base[ch] {
+			t.Errorf("channel %d: merging clusters did not change the signature", ch)
+		}
+	}
+}
+
+// assertDeltaExact replays every candidate as a delta against the base
+// residue and asserts bit-exactness against the reference Replay. It
+// returns the summed DeltaInfo for the run.
+func assertDeltaExact(t *testing.T, name string, bt *BehaviorTrace, base *Residue, conns []*connect.Arch) DeltaInfo {
+	t.Helper()
+	var total DeltaInfo
+	for i, c := range conns {
+		got, _, info, err := ReplayDelta(bt, base, c, false)
+		if err != nil {
+			t.Fatalf("%s[%d]: ReplayDelta: %v", name, i, err)
+		}
+		want, err := Replay(bt, c)
+		if err != nil {
+			t.Fatalf("%s[%d]: Replay: %v", name, i, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s[%d]: delta result diverged from Replay:\n got %+v\nwant %+v", name, i, got, want)
+		}
+		total.SplicedEvents += info.SplicedEvents
+		total.RecomputedEvents += info.RecomputedEvents
+		total.ChannelsReused += info.ChannelsReused
+		total.ChannelsChanged += info.ChannelsChanged
+		if info.Fallback {
+			total.Fallback = true
+		}
+	}
+	return total
+}
+
+// TestReplayDeltaMatchesReplay is the delta fidelity gate, mirroring
+// TestReplayBatchMatchesReplay: for every library candidate, replaying
+// it as a delta against an ahb32/off32 base must be bit-exact against
+// Replay — across module kinds, with and without L2, on full and
+// windowed captures — and delta chains (residue-of-a-delta) must stay
+// exact too.
+func TestReplayDeltaMatchesReplay(t *testing.T) {
+	tr := workload.Compress{}.Generate(workload.DefaultConfig()).Slice(0, 30_000)
+	for _, withL2 := range []bool{false, true} {
+		m := richArch(withL2)
+		conns := batchConns(t, m)
+		name := "full"
+		if withL2 {
+			name = "full/l2"
+		}
+		for _, windowed := range []bool{false, true} {
+			var windows []Window
+			if windowed {
+				const on, period = 2000, 20000
+				for lo := 0; lo < tr.NumAccesses(); lo += period {
+					hi := lo + on
+					if hi > tr.NumAccesses() {
+						hi = tr.NumAccesses()
+					}
+					windows = append(windows, Window{Lo: lo, Hi: hi})
+				}
+				name += "/windowed"
+			}
+			bt, err := CaptureBehavior(tr, m, windows)
+			if err != nil {
+				t.Fatal(err)
+			}
+			base := buildConnT(t, m, "ahb32", "off32")
+			baseRes, rsd, err := ReplayResidue(bt, base)
+			if err != nil {
+				t.Fatalf("%s: ReplayResidue: %v", name, err)
+			}
+			if rsd == nil {
+				t.Fatalf("%s: ReplayResidue returned a nil residue", name)
+			}
+			want, err := Replay(bt, base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(baseRes, want) {
+				t.Errorf("%s: ReplayResidue result diverged from Replay", name)
+			}
+			total := assertDeltaExact(t, name, bt, rsd, conns)
+			if total.SplicedEvents == 0 {
+				t.Errorf("%s: no event was spliced across the whole library", name)
+			}
+
+			// Chain: residue of a delta replay feeds the next delta.
+			mid := buildConnT(t, m, "ahb32", "off16")
+			_, midRsd, _, err := ReplayDelta(bt, rsd, mid, true)
+			if err != nil {
+				t.Fatalf("%s: chained ReplayDelta: %v", name, err)
+			}
+			if midRsd == nil {
+				t.Fatalf("%s: chained ReplayDelta returned a nil residue", name)
+			}
+			assertDeltaExact(t, name+"/chained", bt, midRsd, conns)
+		}
+	}
+}
+
+// TestReplayDeltaFallback forces the provable fallback: when every
+// channel's timing differs from the base, no event is spliceable and
+// ReplayDelta must run a full replay, flag it, and stay bit-exact.
+func TestReplayDeltaFallback(t *testing.T) {
+	m := richArch(true)
+	tr := workload.Compress{}.Generate(workload.DefaultConfig()).Slice(0, 10_000)
+	bt, err := CaptureBehavior(tr, m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := buildConnT(t, m, "ahb32", "off32")
+	_, rsd, err := ReplayResidue(bt, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sib := buildConnT(t, m, "mux32", "off16")
+	got, _, info, err := ReplayDelta(bt, rsd, sib, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Fallback {
+		t.Fatalf("all-channels-changed sibling did not fall back: %+v", info)
+	}
+	if info.SplicedEvents != 0 || info.RecomputedEvents != int64(bt.NumEvents()) {
+		t.Fatalf("fallback info inconsistent: %+v", info)
+	}
+	want, err := Replay(bt, sib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("fallback result diverged from Replay:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestReplayDeltaBatchMixed covers the shared-walk batch API: a mixed
+// batch of near siblings (spliced), a base-identical twin and an
+// everything-changed sibling (per-member fallback) must be bit-exact
+// against Replay in one walk, honor the want mask, and report
+// per-member infos.
+func TestReplayDeltaBatchMixed(t *testing.T) {
+	m := richArch(true)
+	tr := workload.Compress{}.Generate(workload.DefaultConfig()).Slice(0, 10_000)
+	bt, err := CaptureBehavior(tr, m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := buildConnT(t, m, "ahb32", "off32")
+	_, rsd, err := ReplayResidue(bt, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conns := []*connect.Arch{
+		buildConnT(t, m, "ahb32", "off16"), // off-chip cluster changed
+		buildConnT(t, m, "ahb32", "off32"), // timing-identical to the base
+		buildConnT(t, m, "mux32", "off16"), // every channel changed: fallback
+		buildConnT(t, m, "ahb64", "off32"), // on-chip cluster changed
+	}
+	want := []bool{true, false, true, false}
+	oneBase := []*Residue{rsd, rsd, rsd, rsd}
+	results, residues, infos, err := ReplayDeltaBatch(bt, oneBase, conns, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range conns {
+		ref, err := Replay(bt, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(results[i], ref) {
+			t.Errorf("member %d: batched delta diverged from Replay (info %+v)", i, infos[i])
+		}
+	}
+	if infos[1].Fallback || infos[1].SplicedEvents == 0 {
+		t.Errorf("base-identical member did not splice: %+v", infos[1])
+	}
+	if !infos[2].Fallback {
+		t.Errorf("all-channels-changed member did not fall back: %+v", infos[2])
+	}
+	if infos[2].SplicedEvents != 0 || infos[2].RecomputedEvents != int64(bt.NumEvents()) {
+		t.Errorf("fallback member info inconsistent: %+v", infos[2])
+	}
+	for i := range conns {
+		if want[i] && residues[i] == nil {
+			t.Errorf("member %d: wanted residue missing", i)
+		}
+		if !want[i] && residues[i] != nil {
+			t.Errorf("member %d: unwanted residue captured", i)
+		}
+	}
+	// A residue captured inside the batch — including the fallback
+	// member's — chains into further deltas.
+	assertDeltaExact(t, "chained/spliced", bt, residues[0], conns)
+	assertDeltaExact(t, "chained/fallback", bt, residues[2], conns)
+
+	// A wave with mixed bases — every member answering to a different
+	// parent, one with no parent residue at all — must stay bit-exact
+	// member by member.
+	mixedBases := []*Residue{residues[0], nil, rsd, residues[2]}
+	mres, _, minfos, err := ReplayDeltaBatch(bt, mixedBases, conns, make([]bool, len(conns)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range conns {
+		ref, err := Replay(bt, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(mres[i], ref) {
+			t.Errorf("mixed-base member %d diverged from Replay (info %+v)", i, minfos[i])
+		}
+	}
+	if minfos[0].Fallback || minfos[0].SplicedEvents == 0 {
+		t.Errorf("member replayed against its own residue did not splice: %+v", minfos[0])
+	}
+	if !minfos[1].Fallback {
+		t.Errorf("nil-base member not flagged as fallback: %+v", minfos[1])
+	}
+
+	// Degenerate inputs.
+	if r0, s0, i0, err := ReplayDeltaBatch(bt, nil, nil, nil); err != nil || r0 != nil || s0 != nil || i0 != nil {
+		t.Errorf("empty batch: got (%v, %v, %v, %v), want all nil", r0, s0, i0, err)
+	}
+	if _, _, _, err := ReplayDeltaBatch(bt, oneBase[:2], conns, want); err == nil {
+		t.Error("mismatched bases accepted")
+	}
+	if _, _, _, err := ReplayDeltaBatch(bt, oneBase, conns, want[:2]); err == nil {
+		t.Error("mismatched want mask accepted")
+	}
+	if _, _, _, err := ReplayDeltaBatch(bt, oneBase[:1], []*connect.Arch{nil}, []bool{false}); err == nil {
+		t.Error("nil member accepted")
+	}
+	if _, _, _, err := ReplayDelta(bt, nil, conns[0], false); err == nil {
+		t.Error("nil base accepted by ReplayDelta")
+	}
+}
+
+// randConn builds a random connectivity architecture for m: a random
+// partition of the on-chip and off-chip channel sets into clusters with
+// random matching library components, retried until it validates.
+func randConn(t *testing.T, rng *rand.Rand, m *mem.Architecture) *connect.Arch {
+	t.Helper()
+	lib := connect.Library()
+	var onComps, offComps []connect.Component
+	for _, c := range lib {
+		if c.OnChip {
+			onComps = append(onComps, c)
+		} else {
+			offComps = append(offComps, c)
+		}
+	}
+	chans := m.Channels()
+	for attempt := 0; attempt < 200; attempt++ {
+		a := &connect.Arch{Channels: chans}
+		build := func(idx []int, comps []connect.Component) {
+			idx = append([]int(nil), idx...)
+			rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+			for len(idx) > 0 {
+				n := 1 + rng.Intn(len(idx))
+				cl := append([]int(nil), idx[:n]...)
+				idx = idx[n:]
+				a.Clusters = append(a.Clusters, cl)
+				a.Assign = append(a.Assign, comps[rng.Intn(len(comps))])
+			}
+		}
+		var on, off []int
+		for i, ch := range chans {
+			if ch.OffChip {
+				off = append(off, i)
+			} else {
+				on = append(on, i)
+			}
+		}
+		build(on, onComps)
+		build(off, offComps)
+		if a.Validate() == nil {
+			return a
+		}
+	}
+	t.Fatal("randConn: no valid random architecture in 200 attempts")
+	return nil
+}
+
+// TestReplayDeltaProperty is the randomized three-way gate: a random
+// library of cluster assignments × component choices, replayed on full
+// and windowed captures via Replay, ReplayBatch and ReplayDelta from a
+// random base, must agree bit-for-bit — fallbacks included.
+func TestReplayDeltaProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	tr := workload.Compress{}.Generate(workload.DefaultConfig()).Slice(0, 12_000)
+	var spliced, fallbacks int64
+	for _, withL2 := range []bool{false, true} {
+		m := richArch(withL2)
+		for _, windowed := range []bool{false, true} {
+			var windows []Window
+			if windowed {
+				for lo := 0; lo < tr.NumAccesses(); lo += 6000 {
+					hi := lo + 1500
+					if hi > tr.NumAccesses() {
+						hi = tr.NumAccesses()
+					}
+					windows = append(windows, Window{Lo: lo, Hi: hi})
+				}
+			}
+			bt, err := CaptureBehavior(tr, m, windows)
+			if err != nil {
+				t.Fatal(err)
+			}
+			conns := make([]*connect.Arch, 8)
+			for i := range conns {
+				conns[i] = randConn(t, rng, m)
+			}
+			batch, err := ReplayBatch(bt, conns)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, rsd, err := ReplayResidue(bt, conns[rng.Intn(len(conns))])
+			if err != nil {
+				t.Fatal(err)
+			}
+			wants := make([]*Result, len(conns))
+			for i, c := range conns {
+				want, err := Replay(bt, c)
+				if err != nil {
+					t.Fatal(err)
+				}
+				wants[i] = want
+				if !reflect.DeepEqual(batch[i], want) {
+					t.Errorf("l2=%v windowed=%v arch %d: ReplayBatch diverged", withL2, windowed, i)
+				}
+				got, _, info, err := ReplayDelta(bt, rsd, c, false)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("l2=%v windowed=%v arch %d: ReplayDelta diverged (info %+v)", withL2, windowed, i, info)
+				}
+				spliced += info.SplicedEvents
+				if info.Fallback {
+					fallbacks++
+				}
+			}
+			// The batched delta walk must agree with all of the above —
+			// random mixtures of spliced and fallback members included,
+			// with every other member riding a nil base (full
+			// recompute inside the shared walk).
+			bases := make([]*Residue, len(conns))
+			for i := range bases {
+				if i%2 == 0 {
+					bases[i] = rsd
+				}
+			}
+			dbatch, _, dinfos, err := ReplayDeltaBatch(bt, bases, conns, make([]bool, len(conns)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range conns {
+				if !reflect.DeepEqual(dbatch[i], wants[i]) {
+					t.Errorf("l2=%v windowed=%v arch %d: ReplayDeltaBatch diverged (info %+v)", withL2, windowed, i, dinfos[i])
+				}
+				if bases[i] == nil && !dinfos[i].Fallback {
+					t.Errorf("l2=%v windowed=%v arch %d: nil-base member not flagged as fallback", withL2, windowed, i)
+				}
+			}
+		}
+	}
+	// The suite must exercise both regimes: real splicing and the
+	// full-replay fallback.
+	if spliced == 0 {
+		t.Error("randomized suite never spliced an event")
+	}
+	if fallbacks == 0 {
+		t.Error("randomized suite never hit the fallback path")
+	}
+}
+
+// TestReplayDeltaErrors covers the defensive paths: nil base, arch
+// mismatch against the trace, and a residue from a different trace.
+func TestReplayDeltaErrors(t *testing.T) {
+	m := richArch(false)
+	tr := streamTrace(2000)
+	bt, err := CaptureBehavior(tr, m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn := buildConnT(t, m, "ahb32", "off32")
+	if _, _, _, err := ReplayDelta(bt, nil, conn, false); err == nil {
+		t.Fatal("nil base residue accepted")
+	}
+	_, rsd, err := ReplayResidue(bt, conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := cacheArch(4096)
+	mismatched := buildConnT(t, other, "ahb32", "off32")
+	if _, _, _, err := ReplayDelta(bt, rsd, mismatched, false); err == nil {
+		t.Fatal("channel-mismatched sibling accepted")
+	}
+	obt, err := CaptureBehavior(streamTrace(500), m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, _, err = ReplayDelta(obt, rsd, conn, false)
+	if err == nil || !strings.Contains(err.Error(), "residue") {
+		t.Fatalf("stale residue accepted: %v", err)
+	}
+	if _, _, err := ReplayBatchResidue(bt, []*connect.Arch{conn}, nil); err == nil {
+		t.Fatal("mismatched want mask accepted")
+	}
+}
