@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-compare cache-check daemon-check delta-check serve-smoke check
+.PHONY: build test race vet bench bench-compare cache-check daemon-check delta-check search-check serve-smoke check
 
 build:
 	$(GO) build ./...
@@ -16,20 +16,21 @@ vet:
 
 # bench runs the benchmark suite (3 fixed iterations, matching how
 # the baselines were measured) and writes the parsed domain metrics —
-# including the eval-latency histogram quantiles and the batched- and
-# delta-replay counters reported by BenchmarkInstrumentedExploration —
-# plus the speedup over the PR 4 report to BENCH_PR9.json.
+# including the eval-latency histogram quantiles, the batched- and
+# delta-replay counters reported by BenchmarkInstrumentedExploration,
+# and the heuristic-search coverage metrics of BenchmarkSearchGA/SA —
+# plus the speedup over the PR 4 report to BENCH_PR10.json.
 bench:
 	$(GO) test -bench=. -benchmem -benchtime 3x -run '^$$' . | tee bench.out
-	$(GO) run ./cmd/benchjson -baseline BENCH_PR4.json -out BENCH_PR9.json < bench.out
+	$(GO) run ./cmd/benchjson -baseline BENCH_PR4.json -out BENCH_PR10.json < bench.out
 	@rm -f bench.out
 
 # bench-compare diffs two benchjson reports (override OLD/NEW to pick
 # others) and fails when any benchmark's ns/op or B/op regressed by
 # more than 10% — the perf gate for CI. It also tabulates the
 # engine/delta/* counters with the delta-replay hit rate.
-OLD ?= BENCH_PR4.json
-NEW ?= BENCH_PR9.json
+OLD ?= BENCH_PR9.json
+NEW ?= BENCH_PR10.json
 bench-compare:
 	$(GO) run ./cmd/benchjson -compare $(OLD) $(NEW)
 
@@ -60,6 +61,17 @@ delta-check:
 	$(GO) test -race -run 'TestTimingSignature|TestEvaluateBatch|TestEvaluateDelta' ./internal/engine/
 	$(GO) test -race -run 'TestDeltaWarmColdDeterminism' .
 
+# search-check runs the heuristic-search suite: the coverage quality
+# gate (GA and SA must recover ≥90% of the Full ground-truth front at
+# ≤25% of its simulations), the seeded-determinism and budget tests
+# under the race detector, the request fuzz seed corpus, and the
+# heuristic request-path contract tests.
+search-check:
+	$(GO) test -run 'TestSearchCoverageQualityGate' ./internal/explore/
+	$(GO) test -race -run 'TestSearchSeededDeterminism|TestSearchDifferentSeedsDiffer|TestSearchBudgetRespected|TestSearchInvalidConfig|TestParseStrategy' ./internal/explore/
+	$(GO) test -race -run 'FuzzExploreRequestJSON|TestExplorerDoHeuristicStrategy' .
+	$(GO) test -race -run 'TestDaemonHeuristicJob' ./cmd/memorexd/
+
 # serve-smoke boots a real memorexd process, submits a tiny job through
 # memorexctl, asserts a completed report comes back, and checks the
 # daemon drains cleanly on SIGTERM.
@@ -68,7 +80,8 @@ serve-smoke:
 
 # check is the gate a change must pass before review: formatting is
 # clean, vet finds nothing, the whole suite passes under the race
-# detector, and the trace-cache, daemon and delta-replay suites hold.
-check: vet cache-check daemon-check delta-check
+# detector, and the trace-cache, daemon, delta-replay and
+# heuristic-search suites hold.
+check: vet cache-check daemon-check delta-check search-check
 	@fmt=$$(gofmt -l .); if [ -n "$$fmt" ]; then echo "gofmt needed:"; echo "$$fmt"; exit 1; fi
 	$(GO) test -race ./...

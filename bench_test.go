@@ -328,6 +328,54 @@ func BenchmarkAblationPrune(b *testing.B) {
 	}
 }
 
+// benchmarkSearch runs one heuristic driver against the Full-enumeration
+// ground truth of the ablation space at a 25% evaluation budget and
+// reports how much of the true cost/latency pareto front it recovers.
+// benchjson -compare tabulates the "search-*" units and warns when the
+// coverage drops by more than 2 points between reports; the hard ≥90%
+// floor lives in the internal/explore quality-gate test.
+func benchmarkSearch(b *testing.B, strategy explore.Strategy) {
+	tr := quickTrace(b)
+	res, err := apex.Explore(tr.Trace, nil, apex.Config{
+		CacheSizes:  []int{2 << 10, 16 << 10},
+		CacheAssocs: []int{2},
+		CacheLines:  []int{32},
+		MaxCustom:   1,
+		SRAMLimit:   80 << 10,
+		MaxSelected: 2,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	space := explore.BuildSpace(res)
+	cfg := core.DefaultConfig()
+	cfg.Sampling = sampling.Config{OnWindow: 1000, OffRatio: 9}
+	cfg.MaxAssignPerLevel = 0 // exhaustive clustering: the truth is exact
+	full, err := explore.Run(context.Background(), tr.Trace, space, explore.Full, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg.Search = core.SearchConfig{Seed: 42, Budget: int(full.Stats.Simulations / 4), Population: 16}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := explore.Run(context.Background(), tr.Trace, space, strategy, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cov := pareto.Coverage(out.Front, full.Front, explore.CoverageTol)
+		b.ReportMetric(float64(out.Search.Evals), "search-evals")
+		b.ReportMetric(100*cov, "search-coverage-pct")
+	}
+}
+
+// BenchmarkSearchGA measures the genetic-algorithm driver: wall time of
+// a budgeted run plus its truth-front coverage at 25% of Full's work.
+func BenchmarkSearchGA(b *testing.B) { benchmarkSearch(b, explore.GA) }
+
+// BenchmarkSearchSA measures the simulated-annealing driver under the
+// same budget and space as BenchmarkSearchGA.
+func BenchmarkSearchSA(b *testing.B) { benchmarkSearch(b, explore.SA) }
+
 // BenchmarkAblationVictim measures what the victim-buffer extension of
 // the memory IP library (mem.VictimCache) buys on compress's
 // conflict-heavy hash traffic: miss-ratio reduction per added gate.

@@ -21,8 +21,11 @@
 // with a warning, and any "delta-*" engine counters the instrumented
 // benchmarks report (delta-replays, delta-chans-reused,
 // delta-fallbacks) are tabulated after the timing table together with
-// the delta-replay hit rate. This is the CI regression gate behind
-// `make bench-compare`.
+// the delta-replay hit rate. "search-*" units (search-evals,
+// search-coverage-pct from the heuristic-search benchmarks) are
+// tabulated the same way, with a one-sided warning — not a failure —
+// when a benchmark's coverage drops more than 2 points below the old
+// report. This is the CI regression gate behind `make bench-compare`.
 package main
 
 import (
@@ -214,6 +217,7 @@ func printDeltas(w io.Writer, old, cur map[string]Bench) bool {
 			pct(dNS), pct(dB), pct(delta(o["allocs/op"], c["allocs/op"])), flag)
 	}
 	printDeltaMetrics(w, old, cur, names)
+	printSearchMetrics(w, old, cur, names)
 	if !pass {
 		fmt.Fprintf(w, "FAIL: ns/op or B/op regression above %.0f%%\n", regressionLimit*100)
 	}
@@ -267,6 +271,60 @@ func printDeltaMetrics(w io.Writer, old, cur map[string]Bench, names []string) {
 			fmt.Fprintf(w, "%-34s %-24s %14s %14s\n", name, u, metricVal(o, u), metricVal(c, u))
 		}
 		fmt.Fprintf(w, "%-34s %-24s %14s %14s\n", name, "delta hit rate", hitRate(o), hitRate(c))
+	}
+}
+
+// coverageDropLimit is the search-coverage loss (percentage points vs
+// the committed baseline) above which -compare warns. The heuristic
+// drivers are stochastic across code changes (any reordering of engine
+// requests walks a different trajectory), so coverage gates warn
+// one-sidedly instead of failing the run; the hard >=90% floor lives in
+// the explore package's quality-gate test.
+const coverageDropLimit = 2.0
+
+// printSearchMetrics prints the heuristic-search units the
+// instrumented benchmarks report — search-evals (budget consumption)
+// and search-coverage-pct (pareto coverage vs the Full truth) — side
+// by side for every common benchmark that reports any, and warns when
+// a benchmark's coverage dropped more than coverageDropLimit points
+// below the old report. The warning is one-sided: improvements and
+// small noise stay quiet.
+func printSearchMetrics(w io.Writer, old, cur map[string]Bench, names []string) {
+	header := false
+	for _, name := range names {
+		o, c := old[name].Metrics, cur[name].Metrics
+		units := map[string]bool{}
+		for u := range o {
+			if strings.HasPrefix(u, "search-") {
+				units[u] = true
+			}
+		}
+		for u := range c {
+			if strings.HasPrefix(u, "search-") {
+				units[u] = true
+			}
+		}
+		if len(units) == 0 {
+			continue
+		}
+		if !header {
+			header = true
+			fmt.Fprintf(w, "\n%-34s %-24s %14s %14s\n", "benchmark", "search metric", "old", "new")
+		}
+		sorted := make([]string, 0, len(units))
+		for u := range units {
+			sorted = append(sorted, u)
+		}
+		sort.Strings(sorted)
+		for _, u := range sorted {
+			fmt.Fprintf(w, "%-34s %-24s %14s %14s\n", name, u, metricVal(o, u), metricVal(c, u))
+		}
+		oc, okO := o["search-coverage-pct"]
+		cc, okC := c["search-coverage-pct"]
+		if okO && okC && oc-cc > coverageDropLimit {
+			fmt.Fprintf(w, "benchjson: warning: %s search coverage dropped %.1f%% -> %.1f%% (-%.1f points)\n",
+				name, oc, cc, oc-cc)
+		}
 	}
 }
 

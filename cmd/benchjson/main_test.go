@@ -123,6 +123,54 @@ func TestPrintDeltaMetrics(t *testing.T) {
 	}
 }
 
+// TestPrintSearchMetrics: search-* units (evals, coverage) surface in
+// -compare output, a >2-point coverage drop warns without failing the
+// gate, and improvements or small noise stay quiet.
+func TestPrintSearchMetrics(t *testing.T) {
+	searchBench := func(evals, coverage float64) Bench {
+		return Bench{Iterations: 1, Metrics: map[string]float64{
+			"ns/op": 100, "B/op": 50, "allocs/op": 2,
+			"search-evals": evals, "search-coverage-pct": coverage,
+		}}
+	}
+
+	old := map[string]Bench{"BenchmarkSearchGA": searchBench(600, 97)}
+
+	// Coverage drop beyond 2 points: warn, but still pass the gate.
+	var sb strings.Builder
+	if !printDeltas(&sb, old, map[string]Bench{"BenchmarkSearchGA": searchBench(600, 90)}) {
+		t.Fatalf("coverage drop failed the timing gate:\n%s", sb.String())
+	}
+	out := sb.String()
+	for _, want := range []string{"search-evals", "search-coverage-pct",
+		"warning: BenchmarkSearchGA search coverage dropped 97.0% -> 90.0% (-7.0 points)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output lacks %q:\n%s", want, out)
+		}
+	}
+
+	// Small noise and improvements stay quiet; the evals column still
+	// prints.
+	for _, quiet := range []float64{96, 97, 100} {
+		sb.Reset()
+		printDeltas(&sb, old, map[string]Bench{"BenchmarkSearchGA": searchBench(600, quiet)})
+		if strings.Contains(sb.String(), "coverage dropped") {
+			t.Errorf("coverage %v warned:\n%s", quiet, sb.String())
+		}
+		if !strings.Contains(sb.String(), "search-evals") {
+			t.Errorf("coverage %v lost the search metric table:\n%s", quiet, sb.String())
+		}
+	}
+
+	// Benchmarks with no search metrics print no search section.
+	sb.Reset()
+	printDeltas(&sb, map[string]Bench{"BenchmarkX": bench(100, 50, 2)},
+		map[string]Bench{"BenchmarkX": bench(100, 50, 2)})
+	if strings.Contains(sb.String(), "search metric") {
+		t.Errorf("search section printed with no search metrics:\n%s", sb.String())
+	}
+}
+
 // TestDelta: absent metrics are NaN (ignored by the gate), not zero.
 func TestDelta(t *testing.T) {
 	if d := delta(0, 100); !math.IsNaN(d) {

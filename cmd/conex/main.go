@@ -16,12 +16,15 @@ import (
 	"log"
 	"sort"
 	"strings"
+	"time"
 
 	"memorex"
 	"memorex/internal/apex"
 	"memorex/internal/cliutil"
 	"memorex/internal/core"
 	"memorex/internal/engine"
+	"memorex/internal/explore"
+	"memorex/internal/mem"
 	"memorex/internal/obs"
 )
 
@@ -30,11 +33,17 @@ func main() {
 	var wl cliutil.WorkloadFlags
 	var ob cliutil.ObsFlags
 	var cf cliutil.CacheFlags
+	var sf cliutil.SearchFlags
 	wl.Register(flag.CommandLine)
 	ob.Register(flag.CommandLine)
 	cf.Register(flag.CommandLine)
+	sf.Register(flag.CommandLine)
 	archIdx := flag.Int("arch", 0, "index into the APEX selection")
 	flag.Parse()
+	strategy, err := sf.ParseStrategy()
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	opt := memorex.DefaultOptions(wl.Bench)
 	opt.WorkloadConfig = wl.Config()
@@ -98,6 +107,32 @@ func main() {
 
 	ctx, cancel := cliutil.SignalContext()
 	defer cancel()
+
+	if sf.Strategy != "" && strategy != explore.Pruned {
+		// Run the requested exploration driver over just this memory
+		// architecture and report its front.
+		opt.ConEx.Search = sf.Config(wl.Seed)
+		archs := []*mem.Architecture{arch}
+		sp := &explore.Space{AllMem: archs, SelectedMem: archs, NeighborMem: archs}
+		out, err := explore.Run(ctx, tr, sp, strategy, opt.ConEx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if out.Search != nil {
+			fmt.Printf("\nheuristic search: strategy=%s seed=%d budget=%d evals=%d\n",
+				out.Search.Strategy, out.Search.Seed, out.Search.Budget, out.Search.Evals)
+		}
+		fmt.Printf("\n%s exploration: %d designs fully simulated in %v, cost/perf front:\n",
+			strategy, len(out.Points), out.Wall.Round(time.Millisecond))
+		for _, p := range out.Front {
+			fmt.Printf("  %12.0f gates %8.2f cyc %7.2f nJ  %s\n", p.Cost, p.Latency, p.Energy, p.Label)
+		}
+		if cache != nil {
+			fmt.Println(cache)
+		}
+		return
+	}
+
 	points, work, dropped, err := core.ConnectivityExploration(ctx, tr, arch, opt.ConEx)
 	if err != nil {
 		log.Fatal(err)

@@ -40,11 +40,13 @@ func main() {
 	var prof cliutil.ProfileFlags
 	var ob cliutil.ObsFlags
 	var cf cliutil.CacheFlags
+	var sf cliutil.SearchFlags
 	wl.Register(flag.CommandLine)
 	ev.Register(flag.CommandLine)
 	prof.Register(flag.CommandLine)
 	ob.Register(flag.CommandLine)
 	cf.Register(flag.CommandLine)
+	sf.Register(flag.CommandLine)
 	keep := flag.Int("keep", 8, "locally promising designs kept per memory architecture")
 	assignCap := flag.Int("cap", 192, "max connectivity assignments per clustering level")
 	scenario := flag.String("scenario", "", "constrained selection: power, cost or perf")
@@ -117,10 +119,19 @@ func main() {
 	}
 	ob.ServeDebug(ex.MetricsSnapshot)
 
+	if _, err := sf.ParseStrategy(); err != nil {
+		log.Fatal(err)
+	}
+	search := sf.Config(wl.Seed)
+
 	ctx, cancel := cliutil.SignalContext()
 	defer cancel()
 	start := time.Now()
-	rep, err := ex.Explore(ctx, wl.Bench)
+	rep, err := ex.Do(ctx, memorex.ExploreRequest{
+		Benchmark: wl.Bench,
+		Strategy:  sf.Strategy,
+		Search:    &search,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -140,9 +151,19 @@ func main() {
 			i+1, dp.Gates, dp.MissRatio, dp.Arch.Describe(rep.Trace))
 	}
 
+	if rep.Search != nil {
+		fmt.Printf("\nheuristic search: strategy=%s seed=%d budget=%d evals=%d\n",
+			rep.Search.Strategy, rep.Search.Seed, rep.Search.Budget, rep.Search.Evals)
+	}
+
 	cloud := 0
 	for _, pts := range rep.ConEx.PerArch {
 		cloud += len(pts)
+	}
+	if rep.Search != nil {
+		// Heuristic drivers keep no per-arch estimate cloud; the
+		// provenance counters carry the estimate/promotion split.
+		cloud = int(rep.Search.Evals - rep.Search.Promotions)
 	}
 	fmt.Printf("\nConEx: %d connectivity candidates estimated, %d fully simulated\n",
 		cloud, len(rep.ConEx.Combined))

@@ -7,6 +7,8 @@
 //
 //	memorexctl submit [-server URL] [-tenant NAME] [-bench B] [-scale N]
 //	                  [-seed N] [-keep N] [-cap N] [-exact]
+//	                  [-strategy full|pruned|neighborhood|ga|sa]
+//	                  [-search-seed N] [-search-budget N] [-search-population N]
 //	                  [-scenario power|cost|perf -limit V]
 //	                  [-wait] [-follow] [-out FILE]
 //	memorexctl job    [-server URL] ID     print one job (report once done)
@@ -109,6 +111,8 @@ func cmdSubmit(ctx context.Context, args []string) error {
 	fs := newFlagSet("submit", &sv)
 	var wl cliutil.WorkloadFlags
 	wl.Register(fs)
+	var sf cliutil.SearchFlags
+	sf.Register(fs)
 	reqPath := fs.String("req", "", "submit this ExploreRequest JSON file instead of building one from flags")
 	keep := fs.Int("keep", 0, "designs kept per memory architecture (0 = daemon default)")
 	assignCap := fs.Int("cap", -1, "max connectivity assignments per clustering level (-1 = daemon default, 0 = exhaustive)")
@@ -135,11 +139,16 @@ func cmdSubmit(ctx context.Context, args []string) error {
 			Benchmark:   wl.Bench,
 			KeepPerArch: *keep,
 			Exact:       *exact,
+			Strategy:    sf.Strategy,
 		}
 		cfg := wl.Config()
 		req.Workload = &cfg
 		if *assignCap >= 0 {
 			req.MaxAssignPerLevel = assignCap
+		}
+		if sf.Strategy != "" {
+			search := sf.Config(wl.Seed)
+			req.Search = &search
 		}
 		if *scenario != "" {
 			req.Constraints = []memorex.Constraint{{Scenario: *scenario, Limit: *limit}}

@@ -455,6 +455,9 @@ func TestDaemonValidation(t *testing.T) {
 		{"no trace source", `{}`},
 		{"bad constraint", `{"benchmark": "vocoder", "constraints": [{"scenario": "speed", "limit": 1}]}`},
 		{"negative keep", `{"benchmark": "vocoder", "keep_per_arch": -1}`},
+		{"unknown strategy", `{"benchmark": "vocoder", "strategy": "tabu"}`},
+		{"bad search budget", `{"benchmark": "vocoder", "strategy": "ga", "search": {"budget": -1}}`},
+		{"bad search cooling", `{"benchmark": "vocoder", "strategy": "sa", "search": {"cooling": 1.5}}`},
 	}
 	for _, tc := range cases {
 		_, err := c.SubmitRaw(ctx, []byte(tc.body))
@@ -471,6 +474,32 @@ func TestDaemonValidation(t *testing.T) {
 		if !errors.As(err, &se) || se.Code != http.StatusNotFound {
 			t.Errorf("unknown job error = %v, want 404", err)
 		}
+	}
+}
+
+// TestDaemonHeuristicJob runs a GA exploration end-to-end over the
+// job API: the submitted strategy and search config drive the run and
+// the search provenance (strategy, seed, budget, evaluations) comes
+// back in the report JSON.
+func TestDaemonHeuristicJob(t *testing.T) {
+	_, c := newTestDaemon(t, serverConfig{})
+	jb := submitWait(t, c, memorex.ExploreRequest{
+		Benchmark: "vocoder",
+		Strategy:  "ga",
+		Search:    &memorex.SearchConfig{Seed: 9, Budget: 60, Population: 8},
+	})
+	rep := reportOf(t, jb)
+	if rep.Search == nil {
+		t.Fatal("heuristic job report carries no search provenance")
+	}
+	if rep.Search.Strategy != "ga" || rep.Search.Seed != 9 || rep.Search.Budget != 60 {
+		t.Errorf("provenance = %+v, want ga/9/60", rep.Search)
+	}
+	if rep.Search.Evals <= 0 || rep.Search.Evals > 60 {
+		t.Errorf("evals %d outside (0, 60]", rep.Search.Evals)
+	}
+	if len(rep.Designs) == 0 {
+		t.Error("heuristic job report has no designs")
 	}
 }
 

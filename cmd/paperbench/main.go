@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	paperbench [-exp fig3|fig4|fig6|fige|tab1|tab2|all] [-preset paper|quick]
+//	paperbench [-exp fig3|fig4|fig6|fige|tab1|tab2|search|all] [-preset paper|quick]
 //	           [-workers N] [-stats] [-exact]
 //	           [-trace-cache DIR] [-trace-cache-limit SIZE]
 //	           [-events FILE] [-progress] [-debug-addr ADDR]
@@ -40,7 +40,7 @@ func main() {
 	prof.Register(flag.CommandLine)
 	ob.Register(flag.CommandLine)
 	cf.Register(flag.CommandLine)
-	exp := flag.String("exp", "all", "experiment to run: fig3, fig4, fig6, fige, tab1, tab2, all")
+	exp := flag.String("exp", "all", "experiment to run: fig3, fig4, fig6, fige, tab1, tab2, search, all")
 	preset := flag.String("preset", "paper", "sizing preset: paper or quick")
 	stats := flag.Bool("stats", true, "print evaluation-engine statistics after each experiment")
 	flag.Parse()
@@ -103,6 +103,7 @@ func main() {
 		{"fige", func() (fmt.Stringer, error) { return experiments.FigureEnergy(ctx, opt) }},
 		{"tab1", func() (fmt.Stringer, error) { return experiments.Table1(ctx, opt) }},
 		{"tab2", func() (fmt.Stringer, error) { return experiments.Table2(ctx, opt) }},
+		{"search", func() (fmt.Stringer, error) { return experiments.Search(ctx, opt) }},
 	}
 
 	ran := false

@@ -11,6 +11,7 @@ import (
 	"memorex/internal/btcache"
 	"memorex/internal/core"
 	"memorex/internal/engine"
+	"memorex/internal/explore"
 	"memorex/internal/mem"
 	"memorex/internal/obs"
 	"memorex/internal/profile"
@@ -393,11 +394,18 @@ func (x *Explorer) Do(ctx context.Context, req ExploreRequest) (*Report, error) 
 	if t.NumAccesses() == 0 {
 		return nil, fmt.Errorf("memorex: empty trace")
 	}
+	// Strategy was validated above; empty means the paper's pruned
+	// two-phase driver.
+	strategy := explore.Pruned
+	if req.Strategy != "" {
+		strategy, _ = explore.ParseStrategy(req.Strategy)
+	}
+
 	o := x.obs.ForJob(req.JobID)
 	start := time.Now()
 	o.RunStart(benchmark, int64(t.NumAccesses()))
 	o.TraceGenerated(benchmark, int64(t.NumAccesses()), len(t.DS))
-	rep, err := x.run(ctx, o, benchmark, t, wl, apexCfg, conexCfg)
+	rep, err := x.run(ctx, o, benchmark, t, wl, apexCfg, conexCfg, strategy)
 	o.RunEnd(benchmark, time.Since(start), err)
 	if err != nil {
 		return nil, err
@@ -441,27 +449,59 @@ func (x *Explorer) resolve(req ExploreRequest) (workload.Config, apex.Config, co
 	if req.Exact {
 		conexCfg.Exact = true
 	}
+	if req.Search != nil {
+		conexCfg.Search = *req.Search
+	}
 	return wl, apexCfg, conexCfg, nil
 }
 
 func (x *Explorer) run(ctx context.Context, o *obs.Observer, benchmark string, t *trace.Trace,
-	wl workload.Config, apexCfg apex.Config, conexCfg core.Config) (*Report, error) {
+	wl workload.Config, apexCfg apex.Config, conexCfg core.Config, strategy explore.Strategy) (*Report, error) {
 	prof := profile.Analyze(t)
 	apexRes, err := apex.Explore(t, prof, apexCfg)
 	if err != nil {
 		return nil, fmt.Errorf("memorex: APEX failed: %w", err)
 	}
 	o.APEXSelected(len(apexRes.All), len(apexRes.Selected))
-	archs := make([]*mem.Architecture, 0, len(apexRes.Selected))
-	for _, dp := range apexRes.Selected {
-		archs = append(archs, dp.Arch)
-	}
-	conexRes, err := core.Explore(ctx, t, archs, conexCfg)
-	if err != nil {
-		return nil, fmt.Errorf("memorex: ConEx failed: %w", err)
-	}
 	opt := Options{Workload: benchmark, WorkloadConfig: wl, APEX: apexCfg, ConEx: conexCfg}
-	return &Report{Options: opt, Trace: t, Profile: prof, APEX: apexRes, ConEx: conexRes}, nil
+	rep := &Report{Options: opt, Trace: t, Profile: prof, APEX: apexRes}
+
+	if strategy == explore.Pruned {
+		// The paper's two-phase algorithm keeps its dedicated code path
+		// (per-architecture pruning events, Phase I/II result split).
+		archs := make([]*mem.Architecture, 0, len(apexRes.Selected))
+		for _, dp := range apexRes.Selected {
+			archs = append(archs, dp.Arch)
+		}
+		conexRes, err := core.Explore(ctx, t, archs, conexCfg)
+		if err != nil {
+			return nil, fmt.Errorf("memorex: ConEx failed: %w", err)
+		}
+		rep.ConEx = conexRes
+		return rep, nil
+	}
+
+	// Every other strategy (full, neighborhood, ga, sa) walks the
+	// combined space through the explore drivers on the shared engine,
+	// and its outcome is folded into the same Result shape the report
+	// pipeline consumes.
+	before := x.eng.Stats()
+	sp := explore.BuildSpace(apexRes)
+	out, err := explore.Run(ctx, t, sp, strategy, conexCfg)
+	if err != nil {
+		return nil, fmt.Errorf("memorex: %s exploration failed: %w", strategy, err)
+	}
+	res := &core.Result{Combined: out.Points, Stats: out.Stats}
+	res.EstimatedAccesses = out.Stats.SampledAccesses - before.SampledAccesses
+	res.SimulatedAccesses = out.Stats.FullAccesses - before.FullAccesses
+	res.CacheHits = out.Stats.CacheHits - before.CacheHits
+	for _, p := range out.Front {
+		res.CostPerfFront = append(res.CostPerfFront, *p.Meta.(*core.DesignPoint))
+	}
+	o.Prune("cost-perf-front", "", len(res.Combined), len(res.CostPerfFront), 0)
+	rep.ConEx = res
+	rep.Search = out.Search
+	return rep, nil
 }
 
 // SamplingDefault returns the paper's 1:9 time-sampling configuration.

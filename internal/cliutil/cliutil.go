@@ -23,6 +23,8 @@ import (
 
 	"memorex/internal/btcache"
 	"memorex/internal/connect"
+	"memorex/internal/core"
+	"memorex/internal/explore"
 	"memorex/internal/jobapi"
 	"memorex/internal/obs"
 	"memorex/internal/trace"
@@ -104,6 +106,46 @@ type EvalFlags struct {
 func (e *EvalFlags) Register(fs *flag.FlagSet) {
 	fs.IntVar(&e.Workers, "workers", 0, "evaluation worker pool size (0 = all CPUs)")
 	fs.BoolVar(&e.Exact, "exact", false, "use the one-phase exact simulator instead of behavior-trace replay")
+}
+
+// SearchFlags is the shared exploration-driver flag set: -strategy
+// selects the driver and -search-seed/-search-budget/-search-population
+// tune the heuristic (GA/SA) drivers.
+type SearchFlags struct {
+	Strategy   string
+	Seed       int64
+	Budget     int
+	Population int
+}
+
+// Register installs -strategy/-search-seed/-search-budget/
+// -search-population on fs.
+func (s *SearchFlags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&s.Strategy, "strategy", "", "exploration driver: pruned (default), full, neighborhood, ga, sa")
+	fs.Int64Var(&s.Seed, "search-seed", 0, "heuristic search PRNG seed (0 = the workload -seed)")
+	fs.IntVar(&s.Budget, "search-budget", 0, "heuristic search evaluation budget (0 = default)")
+	fs.IntVar(&s.Population, "search-population", 0, "GA population size / SA chain count (0 = default)")
+}
+
+// ParseStrategy resolves -strategy ("" = the pruned default) and
+// rejects unknown names.
+func (s *SearchFlags) ParseStrategy() (explore.Strategy, error) {
+	if s.Strategy == "" {
+		return explore.Pruned, nil
+	}
+	return explore.ParseStrategy(s.Strategy)
+}
+
+// Config returns the heuristic-search configuration the flags select.
+// An unset -search-seed inherits the workload seed, so `-seed 42` alone
+// already pins the whole run; the remaining zero fields mean the
+// core.DefaultSearchConfig values.
+func (s *SearchFlags) Config(workloadSeed int64) core.SearchConfig {
+	seed := s.Seed
+	if seed == 0 {
+		seed = workloadSeed
+	}
+	return core.SearchConfig{Seed: seed, Budget: s.Budget, Population: s.Population}
 }
 
 // CacheFlags is the shared persistent behavior-trace cache flag set:

@@ -86,6 +86,10 @@ type Config struct {
 	// fidelity tolerance everywhere else; Exact exists as the reference
 	// fallback.
 	Exact bool
+	// Search parameterizes the heuristic exploration drivers (the GA
+	// and SA strategies of internal/explore); the enumeration-based
+	// strategies ignore it. The zero value means the defaults.
+	Search SearchConfig
 }
 
 // DefaultConfig returns the configuration used by the experiments.
@@ -103,7 +107,7 @@ func DefaultConfig() Config {
 // description, so they do not affect zeroness.
 func (c Config) IsZero() bool {
 	return c.Library == nil && c.Sampling.IsZero() &&
-		c.MaxAssignPerLevel == 0 && c.KeepPerArch == 0
+		c.MaxAssignPerLevel == 0 && c.KeepPerArch == 0 && c.Search.IsZero()
 }
 
 // Normalize resolves the config the exploration runs with: when every
@@ -150,6 +154,11 @@ func (c Config) Validate() error {
 	}
 	if c.MaxAssignPerLevel < 0 {
 		return fmt.Errorf("core: MaxAssignPerLevel must be non-negative")
+	}
+	// Search is resolved lazily by the heuristic drivers (zero fields
+	// mean the defaults); explicitly out-of-range knobs fail here.
+	if err := c.Search.Validate(); err != nil {
+		return err
 	}
 	return nil
 }

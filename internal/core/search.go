@@ -1,0 +1,110 @@
+package core
+
+import "fmt"
+
+// SearchConfig parameterizes the heuristic exploration drivers (the GA
+// and simulated-annealing strategies of internal/explore). The zero
+// config means "use the defaults" everywhere it is accepted; its JSON
+// encoding is the "search" block of a memorex.ExploreRequest, so a
+// daemon job and an in-process run spell the knobs identically.
+type SearchConfig struct {
+	// Seed is the root of every PRNG the driver uses. All randomness is
+	// split deterministically from it (per generation, per individual /
+	// per chain), so the same seed yields byte-identical fronts at any
+	// engine worker count. 0 means the default seed.
+	Seed int64 `json:"seed,omitempty"`
+	// Budget caps the evaluation requests (sampled estimates plus full
+	// promotions) the driver may submit to the engine. Locally
+	// deduplicated revisits are free; the driver stops as soon as the
+	// budget is exhausted. 0 means the default.
+	Budget int `json:"budget,omitempty"`
+	// Population is the GA population size, or the number of parallel
+	// annealing chains for SA. 0 means the default.
+	Population int `json:"population,omitempty"`
+	// MutationRate is the per-cluster probability of mutating a
+	// component gene when an offspring/move is produced. 0 means the
+	// default; the valid range is (0, 1].
+	MutationRate float64 `json:"mutation_rate,omitempty"`
+	// CrossoverRate is the GA probability of recombining two parents
+	// instead of cloning the tournament winner. 0 means the default;
+	// the valid range is (0, 1].
+	CrossoverRate float64 `json:"crossover_rate,omitempty"`
+	// InitTemp is the SA starting temperature on the scalarized
+	// relative-worsening scale (0.2 accepts a 20% combined worsening
+	// with probability 1/e at step 0). 0 means the default.
+	InitTemp float64 `json:"init_temp,omitempty"`
+	// Cooling is the per-step geometric cooling factor of the SA
+	// schedule, in (0, 1]. 0 means the default.
+	Cooling float64 `json:"cooling,omitempty"`
+}
+
+// DefaultSearchConfig returns the heuristic-search defaults.
+func DefaultSearchConfig() SearchConfig {
+	return SearchConfig{
+		Seed:          1,
+		Budget:        4096,
+		Population:    32,
+		MutationRate:  0.25,
+		CrossoverRate: 0.7,
+		InitTemp:      0.2,
+		Cooling:       0.95,
+	}
+}
+
+// IsZero reports whether every field is unset.
+func (c SearchConfig) IsZero() bool { return c == SearchConfig{} }
+
+// Normalize fills unset fields from DefaultSearchConfig and validates
+// the result; explicitly invalid values surface as errors instead of
+// being silently replaced.
+func (c SearchConfig) Normalize() (SearchConfig, error) {
+	def := DefaultSearchConfig()
+	if c.Seed == 0 {
+		c.Seed = def.Seed
+	}
+	if c.Budget == 0 {
+		c.Budget = def.Budget
+	}
+	if c.Population == 0 {
+		c.Population = def.Population
+	}
+	if c.MutationRate == 0 {
+		c.MutationRate = def.MutationRate
+	}
+	if c.CrossoverRate == 0 {
+		c.CrossoverRate = def.CrossoverRate
+	}
+	if c.InitTemp == 0 {
+		c.InitTemp = def.InitTemp
+	}
+	if c.Cooling == 0 {
+		c.Cooling = def.Cooling
+	}
+	if err := c.Validate(); err != nil {
+		return SearchConfig{}, err
+	}
+	return c, nil
+}
+
+// Validate checks a fully resolved configuration (every field set).
+func (c SearchConfig) Validate() error {
+	if c.Budget < 0 {
+		return fmt.Errorf("core: search Budget must be non-negative")
+	}
+	if c.Population < 0 {
+		return fmt.Errorf("core: search Population must be non-negative")
+	}
+	if c.MutationRate < 0 || c.MutationRate > 1 {
+		return fmt.Errorf("core: search MutationRate must be in [0, 1], got %g", c.MutationRate)
+	}
+	if c.CrossoverRate < 0 || c.CrossoverRate > 1 {
+		return fmt.Errorf("core: search CrossoverRate must be in [0, 1], got %g", c.CrossoverRate)
+	}
+	if c.InitTemp < 0 {
+		return fmt.Errorf("core: search InitTemp must be non-negative, got %g", c.InitTemp)
+	}
+	if c.Cooling < 0 || c.Cooling > 1 {
+		return fmt.Errorf("core: search Cooling must be in (0, 1], got %g", c.Cooling)
+	}
+	return nil
+}

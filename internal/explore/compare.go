@@ -24,6 +24,10 @@ type StrategyMetrics struct {
 	// reports wall time: 2 days / 2 weeks / 1 month for compress).
 	WorkAccesses int64
 	Wall         time.Duration
+	// Evals counts the evaluation requests the strategy issued to the
+	// engine — the heuristic drivers' budget consumption. For the
+	// enumeration strategies it equals the engine request count.
+	Evals int64
 	// DesignsSimulated is the number of fully simulated designs.
 	DesignsSimulated int
 	// Hypervolume is the cost/latency area the strategy's front
@@ -68,6 +72,10 @@ func Compare(benchmark string, full *Outcome, others ...*Outcome) *Comparison {
 			WorkAccesses:     o.WorkAccesses,
 			Wall:             o.Wall,
 			DesignsSimulated: len(o.Points),
+			Evals:            o.Stats.Requests,
+		}
+		if o.Search != nil {
+			m.Evals = o.Search.Evals
 		}
 		if fullHV > 0 {
 			m.Hypervolume = pareto.Hypervolume2D(o.Front, pareto.Cost, pareto.Latency, refC, refL) / fullHV
@@ -92,6 +100,7 @@ func (c *Comparison) String() string {
 		s += "\n"
 	}
 	row("Work [accesses]", func(m StrategyMetrics) string { return fmt.Sprintf("%d", m.WorkAccesses) })
+	row("Evals", func(m StrategyMetrics) string { return fmt.Sprintf("%d", m.Evals) })
 	row("Time", func(m StrategyMetrics) string { return m.Wall.Round(time.Millisecond).String() })
 	row("Coverage [%]", func(m StrategyMetrics) string { return fmt.Sprintf("%.0f%%", m.Coverage*100) })
 	row("Avg. cost dist [%]", func(m StrategyMetrics) string { return fmt.Sprintf("%.2f%%", m.Distance.CostPct) })

@@ -44,6 +44,14 @@ const (
 	Full Strategy = iota
 	Pruned
 	Neighborhood
+	// GA is the generational genetic-algorithm driver: per-memory-
+	// architecture islands evolve (clustering level, per-cluster
+	// component) genomes under sampled-estimate fitness, promoting
+	// near-front candidates to full simulation (see search.go).
+	GA
+	// SA is the simulated-annealing driver: parallel Metropolis chains
+	// over the same genome space with a geometric cooling schedule.
+	SA
 )
 
 // String implements fmt.Stringer.
@@ -55,8 +63,31 @@ func (s Strategy) String() string {
 		return "pruned"
 	case Neighborhood:
 		return "neighborhood"
+	case GA:
+		return "ga"
+	case SA:
+		return "sa"
 	default:
 		return fmt.Sprintf("strategy(%d)", int(s))
+	}
+}
+
+// ParseStrategy maps a strategy name (the String form) back to its
+// Strategy value.
+func ParseStrategy(name string) (Strategy, error) {
+	switch name {
+	case "full":
+		return Full, nil
+	case "pruned":
+		return Pruned, nil
+	case "neighborhood":
+		return Neighborhood, nil
+	case "ga":
+		return GA, nil
+	case "sa":
+		return SA, nil
+	default:
+		return 0, fmt.Errorf("explore: unknown strategy %q (want full, pruned, neighborhood, ga or sa)", name)
 	}
 }
 
@@ -129,6 +160,9 @@ type Outcome struct {
 	Wall time.Duration
 	// Stats snapshots the evaluation engine when the strategy finished.
 	Stats engine.Stats
+	// Search records the heuristic-search provenance (strategy, seed,
+	// budget, evaluations issued); nil for the enumeration strategies.
+	Search *SearchProvenance
 }
 
 // Run executes the given strategy over the space. All design-point
@@ -175,6 +209,10 @@ func Run(ctx context.Context, t *trace.Trace, sp *Space, strategy Strategy, cfg 
 		}
 		out.Points = append(out.Points, extra...)
 		out.WorkAccesses += work
+	case GA, SA:
+		if err := runSearch(ctx, eng, t, sp, strategy, cfg, out); err != nil {
+			return nil, err
+		}
 	default:
 		return nil, fmt.Errorf("explore: unknown strategy %d", strategy)
 	}

@@ -29,6 +29,7 @@ import (
 	"memorex/internal/connect"
 	"memorex/internal/core"
 	"memorex/internal/engine"
+	"memorex/internal/explore"
 	"memorex/internal/mem"
 	"memorex/internal/pareto"
 	"memorex/internal/profile"
@@ -65,6 +66,12 @@ type (
 	ConnArch = connect.Arch
 	// SamplingConfig controls the time-sampling estimator.
 	SamplingConfig = sampling.Config
+	// SearchConfig tunes the heuristic exploration drivers (GA and SA):
+	// seed, evaluation budget, population size and move rates.
+	SearchConfig = core.SearchConfig
+	// SearchInfo records the heuristic-search provenance of a run:
+	// strategy, seed, budget and the evaluations actually issued.
+	SearchInfo = explore.SearchProvenance
 	// WorkloadConfig controls benchmark trace generation.
 	WorkloadConfig = workload.Config
 	// Engine is the shared design-point evaluation engine: a bounded
@@ -117,6 +124,11 @@ type Report struct {
 	// Selections holds the constrained-selection outcomes of the
 	// request's Constraints, in request order (see ExploreRequest).
 	Selections []Selection
+	// Search is the heuristic-search provenance when the run used the
+	// "ga" or "sa" strategy (nil for the enumeration strategies): the
+	// strategy name, seed, budget and evaluations issued, so a reported
+	// front is reproducible from the report alone.
+	Search *SearchInfo
 	// Metrics is the exploration metrics snapshot taken when the run
 	// finished (cumulative over the Explorer's lifetime when runs share
 	// an Explorer). Empty for runs without a metrics registry.

@@ -58,8 +58,12 @@ type SelectionPoint struct {
 
 // ReportJSON is the serialized form of an exploration report.
 type ReportJSON struct {
-	Benchmark  string           `json:"benchmark"`
-	Accesses   int              `json:"trace_accesses"`
+	Benchmark string `json:"benchmark"`
+	Accesses  int    `json:"trace_accesses"`
+	// Search records the heuristic-search provenance (strategy, seed,
+	// budget, evaluations issued) of runs driven by the "ga" or "sa"
+	// strategy; absent for the enumeration strategies.
+	Search     *SearchInfo      `json:"search,omitempty"`
 	Engine     *EngineJSON      `json:"engine,omitempty"`
 	Metrics    *MetricsSnapshot `json:"metrics,omitempty"`
 	Designs    []DesignJSON     `json:"designs"`
@@ -91,6 +95,7 @@ func (r *Report) WriteJSON(w io.Writer) error {
 	out := ReportJSON{
 		Benchmark: r.Options.Workload,
 		Accesses:  r.Trace.NumAccesses(),
+		Search:    r.Search,
 		Engine:    ej,
 	}
 	if len(r.Metrics.Counters)+len(r.Metrics.Gauges)+len(r.Metrics.Histograms) > 0 {

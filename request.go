@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"memorex/internal/connect"
+	"memorex/internal/explore"
 	"memorex/internal/pareto"
 	"memorex/internal/workload"
 )
@@ -60,6 +61,17 @@ type ExploreRequest struct {
 	// (false inherits the Explorer's setting rather than overriding
 	// it.)
 	Exact bool `json:"exact,omitempty"`
+
+	// Strategy selects the exploration driver: "pruned" (the paper's
+	// two-phase algorithm, the default), "full" (exhaustive ground
+	// truth), "neighborhood", or the heuristic drivers "ga" and "sa".
+	// Empty inherits the default.
+	Strategy string `json:"strategy,omitempty"`
+	// Search tunes the heuristic drivers (seed, evaluation budget,
+	// population, rates); nil means the Explorer's search config, whose
+	// zero fields in turn mean the defaults. Ignored by the enumeration
+	// strategies.
+	Search *SearchConfig `json:"search,omitempty"`
 
 	// Constraints asks for the paper's constrained selections over the
 	// fully simulated designs; each entry yields one Report.Selections
@@ -131,6 +143,16 @@ func (r ExploreRequest) Validate() error {
 	}
 	if r.MaxAssignPerLevel != nil && *r.MaxAssignPerLevel < 0 {
 		return fmt.Errorf("memorex: request MaxAssignPerLevel must be non-negative")
+	}
+	if r.Strategy != "" {
+		if _, err := explore.ParseStrategy(r.Strategy); err != nil {
+			return fmt.Errorf("memorex: request strategy: %w", err)
+		}
+	}
+	if r.Search != nil {
+		if err := r.Search.Validate(); err != nil {
+			return fmt.Errorf("memorex: request search: %w", err)
+		}
 	}
 	for i, c := range r.Constraints {
 		switch c.Scenario {

@@ -34,6 +34,8 @@ func TestExploreRequestJSONRoundTrip(t *testing.T) {
 		KeepPerArch:       3,
 		MaxAssignPerLevel: &cap,
 		Exact:             true,
+		Strategy:          "ga",
+		Search:            &SearchConfig{Seed: 7, Budget: 64, Population: 8},
 		Constraints:       []Constraint{{Scenario: ScenarioPower, Limit: 1.5}},
 	}
 
@@ -67,7 +69,7 @@ func TestExploreRequestJSONRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	if min.Workload != nil || min.APEX != nil || min.Sampling != nil ||
-		min.Library != nil || min.MaxAssignPerLevel != nil {
+		min.Library != nil || min.MaxAssignPerLevel != nil || min.Search != nil {
 		t.Errorf("minimal request decoded with non-inherited blocks: %+v", min)
 	}
 	if err := min.Validate(); err != nil {
@@ -90,6 +92,8 @@ func TestExploreRequestValidate(t *testing.T) {
 		{"bad library", ExploreRequest{Benchmark: "vocoder", Library: []ConnComponent{{}}}, "library"},
 		{"negative keep", ExploreRequest{Benchmark: "vocoder", KeepPerArch: -1}, "KeepPerArch"},
 		{"negative cap", ExploreRequest{Benchmark: "vocoder", MaxAssignPerLevel: &neg}, "MaxAssignPerLevel"},
+		{"bad strategy", ExploreRequest{Benchmark: "vocoder", Strategy: "tabu"}, "strategy"},
+		{"bad search", ExploreRequest{Benchmark: "vocoder", Search: &SearchConfig{MutationRate: 1.5}}, "search"},
 		{"bad scenario", ExploreRequest{Benchmark: "vocoder", Constraints: []Constraint{{Scenario: "speed", Limit: 1}}}, "unknown scenario"},
 		{"bad limit", ExploreRequest{Benchmark: "vocoder", Constraints: []Constraint{{Scenario: ScenarioCost, Limit: 0}}}, "limit must be positive"},
 	}
@@ -151,6 +155,63 @@ func TestExplorerDoRequest(t *testing.T) {
 	// An invalid request is rejected before any work happens.
 	if _, err := ex.Do(context.Background(), ExploreRequest{}); err == nil {
 		t.Error("Do accepted an empty request")
+	}
+}
+
+// TestExplorerDoHeuristicStrategy runs the heuristic drivers through
+// the job-oriented request path: the request's strategy and search
+// config must reach the driver, the search provenance must land in the
+// report and survive the JSON round trip, and an enumeration run must
+// carry no provenance.
+func TestExplorerDoHeuristicStrategy(t *testing.T) {
+	ex, err := NewExplorer(fastExplorerOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ex.Close()
+
+	rep, err := ex.Do(context.Background(), ExploreRequest{
+		Benchmark: "vocoder",
+		Strategy:  "ga",
+		Search:    &SearchConfig{Seed: 11, Budget: 60, Population: 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Search == nil {
+		t.Fatal("heuristic run produced no search provenance")
+	}
+	if rep.Search.Strategy != "ga" || rep.Search.Seed != 11 || rep.Search.Budget != 60 {
+		t.Errorf("provenance = %+v, want ga/11/60", rep.Search)
+	}
+	if rep.Search.Evals <= 0 || rep.Search.Evals > 60 {
+		t.Errorf("evals %d outside (0, 60]", rep.Search.Evals)
+	}
+	if len(rep.ConEx.Combined) == 0 || len(rep.ConEx.CostPerfFront) == 0 {
+		t.Fatalf("heuristic run produced %d designs, front %d",
+			len(rep.ConEx.Combined), len(rep.ConEx.CostPerfFront))
+	}
+
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rj, err := ReadReportJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rj.Search == nil || rj.Search.Strategy != "ga" || rj.Search.Seed != 11 ||
+		rj.Search.Evals != rep.Search.Evals {
+		t.Errorf("report JSON search provenance = %+v, want %+v", rj.Search, rep.Search)
+	}
+
+	// The default (pruned) strategy reports no search provenance.
+	plain, err := ex.Do(context.Background(), ExploreRequest{Benchmark: "vocoder"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Search != nil {
+		t.Errorf("pruned run reported search provenance %+v", plain.Search)
 	}
 }
 
